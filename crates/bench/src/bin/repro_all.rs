@@ -1,0 +1,53 @@
+//! Runs every experiment runner in DESIGN.md's per-experiment index, in
+//! paper order. Set `CHAMELEON_SCALE=quick` for a fast pass.
+
+use std::process::Command;
+
+fn main() {
+    let runners = [
+        "table1_config",
+        "fig02a_numa_allocator",
+        "fig02b_autonuma",
+        "fig02c_autonuma_timeline",
+        "fig03_free_space_timeline",
+        "fig04_capacity_sweep",
+        "fig05_faults_utilization",
+        "table2_workloads",
+        "fig15_hit_rate",
+        "fig16_mode_distribution",
+        "fig17_swaps",
+        "fig18_ipc",
+        "fig19_amat",
+        "fig20_os_comparison",
+        "fig21_ratio_modes",
+        "fig22_polymorphic",
+        "fig23_ratio_ipc",
+        "sec6f_isa_overhead",
+        "ablations",
+        "ext_rebalancer",
+        "ext_energy",
+        "results_to_markdown",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for runner in runners {
+        println!("\n################ {runner} ################");
+        let status = Command::new(exe_dir.join(runner))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {runner}: {e}"));
+        if !status.success() {
+            eprintln!("!! {runner} failed with {status}");
+            failures.push(runner);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed. Results under results/.");
+    } else {
+        eprintln!("\nFailed runners: {failures:?}");
+        std::process::exit(1);
+    }
+}

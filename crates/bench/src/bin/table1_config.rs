@@ -1,0 +1,56 @@
+//! Table I — the simulated baseline configuration (full-scale values and
+//! the scaled values the experiments run with).
+
+use chameleon::ScaledParams;
+use chameleon_bench::banner;
+use chameleon_core::HmaConfig;
+
+fn print_cfg(title: &str, hma: &HmaConfig, params: Option<&ScaledParams>) {
+    banner(title);
+    if let Some(p) = params {
+        println!(
+            "Cores               {} @ {:.1}GHz, mlp={}, window={}",
+            p.cores,
+            hma.cpu_clock.mhz() / 1000.0,
+            p.core.mlp,
+            p.core.rob_window
+        );
+        println!(
+            "L1 / L2 / L3        {} {}-way | {} {}-way | {} {}-way (shared)",
+            p.l1.capacity, p.l1.ways, p.l2.capacity, p.l2.ways, p.l3.capacity, p.l3.ways
+        );
+    }
+    for (name, d) in [("Stacked DRAM", &hma.stacked), ("Off-chip DRAM", &hma.offchip)] {
+        println!(
+            "{name:19} {} | {} ch x {} bits @ {:.0}MHz (DDR) = {:.1} GB/s | \
+             tCAS-tRCD-tRP-tRAS {}-{}-{}-{} | tRFC {:.0}ns",
+            d.capacity,
+            d.channels,
+            d.bus_bits,
+            d.bus_clock.mhz(),
+            d.peak_bandwidth_gbps(),
+            d.timings.t_cas,
+            d.timings.t_rcd,
+            d.timings.t_rp,
+            d.timings.t_ras,
+            d.timings.t_rfc_ns
+        );
+    }
+    println!(
+        "Segments            {} ({} groups of {} slots)",
+        hma.segment,
+        hma.stacked.capacity / hma.segment,
+        hma.offchip.capacity.bytes() / hma.stacked.capacity.bytes() + 1
+    );
+    println!("Page-fault latency  100K CPU cycles (SSD)");
+}
+
+fn main() {
+    print_cfg("Table I: paper configuration (full scale)", &HmaConfig::table1(), None);
+    let params = ScaledParams::laptop();
+    print_cfg(
+        "Table I: scaled configuration used by the experiment runners (1/64)",
+        &params.hma,
+        Some(&params),
+    );
+}

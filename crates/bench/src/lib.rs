@@ -1,0 +1,280 @@
+//! Experiment harness: shared infrastructure for the per-figure runner
+//! binaries (`fig*`, `table*`, `sec6f_isa_overhead`, `repro_all`).
+//!
+//! Every runner prints the rows/series the corresponding paper artifact
+//! reports and writes a JSON dump under `results/` so EXPERIMENTS.md
+//! tables can be regenerated and diffed.
+//!
+//! The heavyweight sweep shared by Figures 15–19 and Table II (every
+//! Table II application against every Figure 18 architecture) is cached
+//! on disk: the first runner to need it computes it, the rest reuse it.
+//! Delete `results/main_sweep.json` to force a re-run.
+
+use std::path::PathBuf;
+
+use chameleon::{Architecture, ScaledParams, System, SystemReport};
+use chameleon_workloads::AppSpec;
+use crossbeam::thread;
+use parking_lot::Mutex;
+use serde::{de::DeserializeOwned, Serialize};
+
+/// Run sizing, selected with the `CHAMELEON_SCALE` environment variable
+/// (`quick` or `full`; default `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// ~4x fewer instructions; minutes-level total runtime.
+    Quick,
+    /// The default experiment sizing.
+    Full,
+}
+
+impl RunScale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("CHAMELEON_SCALE").as_deref() {
+            Ok("quick") => RunScale::Quick,
+            _ => RunScale::Full,
+        }
+    }
+
+    /// Instructions per core for a measured run.
+    pub fn instructions(self) -> u64 {
+        match self {
+            RunScale::Quick => 250_000,
+            RunScale::Full => 1_000_000,
+        }
+    }
+}
+
+/// The experiment harness: parameters, result directory, and shared
+/// sweeps.
+pub struct Harness {
+    params: ScaledParams,
+    out_dir: PathBuf,
+    scale: RunScale,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness with the default laptop-scale parameters, the
+    /// `CHAMELEON_SCALE` sizing, and `results/` as the output directory.
+    pub fn new() -> Self {
+        let scale = RunScale::from_env();
+        let mut params = ScaledParams::laptop();
+        params.instructions_per_core = scale.instructions();
+        let out_dir = PathBuf::from(
+            std::env::var("CHAMELEON_RESULTS").unwrap_or_else(|_| "results".to_owned()),
+        );
+        std::fs::create_dir_all(&out_dir).expect("create results directory");
+        Self {
+            params,
+            out_dir,
+            scale,
+        }
+    }
+
+    /// The system parameters used for runs.
+    pub fn params(&self) -> &ScaledParams {
+        &self.params
+    }
+
+    /// Replaces the system parameters (ratio sweeps).
+    pub fn set_params(&mut self, params: ScaledParams) {
+        self.params = params;
+    }
+
+    /// The selected run scale.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// The Table II application names in the paper's (alphabetical)
+    /// figure order.
+    pub fn app_names() -> Vec<String> {
+        AppSpec::table2().into_iter().map(|a| a.name).collect()
+    }
+
+    /// Runs one (architecture, application) cell with the paper protocol.
+    pub fn run_cell(&self, arch: Architecture, app: &str) -> SystemReport {
+        let mut system = System::new(arch, &self.params);
+        system
+            .run_paper_protocol(app, 42)
+            .expect("Table II application")
+    }
+
+    /// Runs a full architecture x application matrix, parallelised across
+    /// available cores. Results are ordered `apps x archs` (row-major).
+    pub fn run_matrix(&self, archs: &[Architecture], apps: &[String]) -> Vec<SystemReport> {
+        let cells: Vec<(usize, Architecture, String)> = apps
+            .iter()
+            .enumerate()
+            .flat_map(|(ai, app)| {
+                archs
+                    .iter()
+                    .enumerate()
+                    .map(move |(xi, arch)| (ai * archs.len() + xi, *arch, app.clone()))
+            })
+            .collect();
+        let results: Mutex<Vec<Option<SystemReport>>> = Mutex::new(vec![None; cells.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(cells.len().max(1));
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (slot, arch, app) = cells[i].clone();
+                    let report = self.run_cell(arch, &app);
+                    results.lock()[slot] = Some(report);
+                });
+            }
+        })
+        .expect("worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("all cells filled"))
+            .collect()
+    }
+
+    /// Path of a result file.
+    pub fn result_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// Serialises a result to `results/<name>` as pretty JSON.
+    pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
+        let path = self.result_path(name);
+        let json = serde_json::to_string_pretty(value).expect("serialise result");
+        std::fs::write(&path, json).expect("write result file");
+        println!("[saved {}]", path.display());
+    }
+
+    /// Loads a cached result if present.
+    pub fn load_json<T: DeserializeOwned>(&self, name: &str) -> Option<T> {
+        let path = self.result_path(name);
+        let data = std::fs::read_to_string(&path).ok()?;
+        serde_json::from_str(&data).ok()
+    }
+
+    /// The shared Figures 15–19 / Table II sweep: every Table II app
+    /// against every Figure 18 architecture, cached under
+    /// `results/main_sweep.json`.
+    pub fn main_sweep(&self) -> MainSweep {
+        if let Some(sweep) = self.load_json::<MainSweep>("main_sweep.json") {
+            if sweep.instructions == self.params.instructions_per_core {
+                println!("[using cached results/main_sweep.json]");
+                return sweep;
+            }
+        }
+        let archs = Architecture::figure18();
+        let apps = Self::app_names();
+        println!(
+            "[running main sweep: {} apps x {} architectures, {} instr/core]",
+            apps.len(),
+            archs.len(),
+            self.params.instructions_per_core
+        );
+        let reports = self.run_matrix(&archs, &apps);
+        let sweep = MainSweep {
+            instructions: self.params.instructions_per_core,
+            archs: archs.iter().map(|a| a.label()).collect(),
+            apps,
+            reports,
+        };
+        self.save_json("main_sweep.json", &sweep);
+        sweep
+    }
+}
+
+/// The cached main sweep.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MainSweep {
+    /// Instructions per core the sweep was run with.
+    pub instructions: u64,
+    /// Architecture labels, in [`Architecture::figure18`] order.
+    pub archs: Vec<String>,
+    /// Application names.
+    pub apps: Vec<String>,
+    /// Row-major `apps x archs` reports.
+    pub reports: Vec<SystemReport>,
+}
+
+impl MainSweep {
+    /// The report for `(app, arch)` by index.
+    pub fn cell(&self, app_idx: usize, arch_idx: usize) -> &SystemReport {
+        &self.reports[app_idx * self.archs.len() + arch_idx]
+    }
+
+    /// Column of reports for one architecture index.
+    pub fn arch_column(&self, arch_idx: usize) -> Vec<&SystemReport> {
+        (0..self.apps.len()).map(|a| self.cell(a, arch_idx)).collect()
+    }
+}
+
+/// Prints a header in the style used by all runners.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Geometric mean helper re-exported for runners.
+pub fn geomean(values: &[f64]) -> f64 {
+    chameleon_simkit::stats::geometric_mean(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_match_table2() {
+        let names = Harness::app_names();
+        assert_eq!(names.len(), 14);
+        assert!(names.iter().any(|n| n == "mcf"));
+    }
+
+    #[test]
+    fn scale_from_env_default_is_full() {
+        // Note: relies on CHAMELEON_SCALE being unset in the test env.
+        if std::env::var("CHAMELEON_SCALE").is_err() {
+            assert_eq!(RunScale::from_env(), RunScale::Full);
+        }
+        assert!(RunScale::Quick.instructions() < RunScale::Full.instructions());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn tiny_matrix_runs() {
+        let mut h = Harness::new();
+        let mut p = ScaledParams::tiny();
+        p.instructions_per_core = 10_000;
+        h.set_params(p);
+        let reports = h.run_matrix(
+            &[Architecture::Pom, Architecture::ChameleonOpt],
+            &["mcf".to_owned()],
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].arch, "PoM");
+        assert_eq!(reports[1].arch, "Chameleon-Opt");
+    }
+}

@@ -1,0 +1,316 @@
+//! The three-level cache hierarchy: private L1/L2 per core, shared L3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AccessKind, CacheConfig, LookupResult, PrefetchConfig, SetAssocCache, StridePrefetcher,
+};
+
+/// Which level serviced a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Private first-level cache.
+    L1,
+    /// Private second-level cache.
+    L2,
+    /// Shared last-level cache.
+    L3,
+    /// Missed everywhere; must go to memory.
+    Memory,
+}
+
+/// Outcome of a hierarchy reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Where the reference was serviced.
+    pub level: HitLevel,
+    /// SRAM hit latency accumulated walking the hierarchy (the memory
+    /// latency for `HitLevel::Memory` is charged by the caller).
+    pub sram_latency: u32,
+    /// Dirty line addresses displaced out of the L3 by this reference;
+    /// the caller must write them back to memory.
+    pub memory_writebacks: Vec<u64>,
+    /// Prefetch candidate addresses emitted by the (optional) stride
+    /// prefetcher on an LLC miss; the caller fetches them from memory and
+    /// installs them with [`Hierarchy::install_prefetch`].
+    pub prefetches: Vec<u64>,
+}
+
+/// Private-L1/L2-per-core plus shared-L3 hierarchy.
+///
+/// Inclusion is not enforced (GEM5's classic caches in the paper's setup
+/// are mostly-inclusive); displaced L1/L2 dirty lines are installed in the
+/// next level rather than written to memory directly.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    l1_latency: u32,
+    l2_latency: u32,
+    l3_latency: u32,
+    instructions: Vec<u64>,
+    prefetchers: Option<Vec<StridePrefetcher>>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or any configuration is invalid.
+    pub fn new(cores: usize, l1: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Self {
+        assert!(cores > 0, "at least one core required");
+        let l1_latency = l1.latency;
+        let l2_latency = l2.latency;
+        let l3_latency = l3.latency;
+        Self {
+            l1: (0..cores).map(|_| SetAssocCache::new(l1.clone())).collect(),
+            l2: (0..cores).map(|_| SetAssocCache::new(l2.clone())).collect(),
+            l3: SetAssocCache::new(l3),
+            l1_latency,
+            l2_latency,
+            l3_latency,
+            instructions: vec![0; cores],
+            prefetchers: None,
+        }
+    }
+
+    /// Attaches a per-core stride prefetcher (off by default; the core
+    /// model's effective MLP already folds typical prefetching in, so
+    /// this is an explicit-ablation knob).
+    pub fn with_prefetcher(mut self, cfg: PrefetchConfig) -> Self {
+        let cores = self.l1.len();
+        self.prefetchers = Some((0..cores).map(|_| StridePrefetcher::new(cfg)).collect());
+        self
+    }
+
+    /// Installs a prefetched line into the shared L3 (no stats impact).
+    pub fn install_prefetch(&mut self, addr: u64) {
+        self.l3.touch(addr);
+    }
+
+    /// A Table I hierarchy for `cores` cores.
+    pub fn table1(cores: usize) -> Self {
+        Self::new(
+            cores,
+            CacheConfig::table1_l1(),
+            CacheConfig::table1_l2(),
+            CacheConfig::table1_l3(),
+        )
+    }
+
+    /// Number of cores the hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Records `n` retired instructions for MPKI accounting.
+    pub fn retire_instructions(&mut self, core: usize, n: u64) {
+        self.instructions[core] += n;
+    }
+
+    /// Performs one reference from `core` for the line containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let mut latency = self.l1_latency;
+        let mut memory_writebacks = Vec::new();
+        let mut prefetches = Vec::new();
+
+        // L1.
+        match self.l1[core].access(addr, kind) {
+            LookupResult::Hit => {
+                return HierarchyOutcome {
+                    level: HitLevel::L1,
+                    sram_latency: latency,
+                    memory_writebacks,
+                    prefetches,
+                }
+            }
+            LookupResult::Miss { writeback } => {
+                if let Some(wb) = writeback {
+                    // Dirty L1 victim lands in L2.
+                    if let LookupResult::Miss { writeback: Some(wb2) } =
+                        self.l2[core].access(wb, AccessKind::Write)
+                    {
+                        if let LookupResult::Miss { writeback: Some(wb3) } =
+                            self.l3.access(wb2, AccessKind::Write)
+                        {
+                            memory_writebacks.push(wb3);
+                        }
+                    }
+                }
+            }
+        }
+
+        // L2.
+        latency += self.l2_latency;
+        match self.l2[core].access(addr, kind) {
+            LookupResult::Hit => {
+                return HierarchyOutcome {
+                    level: HitLevel::L2,
+                    sram_latency: latency,
+                    memory_writebacks,
+                    prefetches,
+                }
+            }
+            LookupResult::Miss { writeback } => {
+                if let Some(wb) = writeback {
+                    if let LookupResult::Miss { writeback: Some(wb2) } =
+                        self.l3.access(wb, AccessKind::Write)
+                    {
+                        memory_writebacks.push(wb2);
+                    }
+                }
+            }
+        }
+
+        // L3 (shared).
+        latency += self.l3_latency;
+        match self.l3.access(addr, kind) {
+            LookupResult::Hit => HierarchyOutcome {
+                level: HitLevel::L3,
+                sram_latency: latency,
+                memory_writebacks,
+                prefetches,
+            },
+            LookupResult::Miss { writeback } => {
+                if let Some(wb) = writeback {
+                    memory_writebacks.push(wb);
+                }
+                if let Some(pf) = self.prefetchers.as_mut() {
+                    prefetches = pf[core].observe(addr);
+                }
+                HierarchyOutcome {
+                    level: HitLevel::Memory,
+                    sram_latency: latency,
+                    memory_writebacks,
+                    prefetches,
+                }
+            }
+        }
+    }
+
+    /// LLC misses per kilo-instruction for one core, using the
+    /// instructions recorded via [`Self::retire_instructions`].
+    ///
+    /// Note: the L3 is shared, so per-core MPKI uses the global L3 miss
+    /// count scaled by the core's share of L3 accesses — callers that need
+    /// exact per-core MPKI should run cores in isolation (as the Table II
+    /// characterisation harness does).
+    pub fn llc_mpki_global(&self) -> f64 {
+        let instr: u64 = self.instructions.iter().sum();
+        self.l3.stats().mpki(instr)
+    }
+
+    /// The shared L3 cache (stats access).
+    pub fn l3(&self) -> &SetAssocCache {
+        &self.l3
+    }
+
+    /// Per-core L1 (stats access).
+    pub fn l1(&self, core: usize) -> &SetAssocCache {
+        &self.l1[core]
+    }
+
+    /// Per-core L2 (stats access).
+    pub fn l2(&self, core: usize) -> &SetAssocCache {
+        &self.l2[core]
+    }
+
+    /// Resets all statistics, preserving contents (post-warm-up).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+        self.instructions.iter_mut().for_each(|i| *i = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_l1_hit() {
+        let mut h = Hierarchy::table1(1);
+        assert_eq!(h.access(0, 0x1000, false).level, HitLevel::Memory);
+        assert_eq!(h.access(0, 0x1000, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn latency_accumulates_down_the_hierarchy() {
+        let mut h = Hierarchy::table1(1);
+        let miss = h.access(0, 0x2000, false);
+        assert_eq!(miss.sram_latency, 4 + 12 + 35);
+        let hit = h.access(0, 0x2000, false);
+        assert_eq!(hit.sram_latency, 4);
+    }
+
+    #[test]
+    fn private_caches_do_not_share() {
+        let mut h = Hierarchy::table1(2);
+        h.access(0, 0x3000, false);
+        // Core 1 misses its private L1/L2 but hits shared L3.
+        assert_eq!(h.access(1, 0x3000, false).level, HitLevel::L3);
+    }
+
+    #[test]
+    fn capacity_evictions_writeback_dirty_lines() {
+        let mut h = Hierarchy::table1(1);
+        // Dirty many distinct lines far exceeding L1+L2+L3 capacity so
+        // dirty L3 victims appear.
+        let mut wrote_back = 0;
+        for i in 0..(1_000_000u64) {
+            let out = h.access(0, i * 64, true);
+            wrote_back += out.memory_writebacks.len();
+        }
+        assert!(wrote_back > 0, "expected dirty L3 victims");
+    }
+
+    #[test]
+    fn mpki_accounting() {
+        let mut h = Hierarchy::table1(1);
+        h.retire_instructions(0, 1000);
+        for i in 0..10u64 {
+            h.access(0, i * 4096, false);
+        }
+        assert!((h.llc_mpki_global() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        Hierarchy::table1(0);
+    }
+
+    #[test]
+    fn prefetcher_emits_on_streaming_misses() {
+        let mut h = Hierarchy::table1(1).with_prefetcher(crate::PrefetchConfig::default());
+        let mut emitted = 0;
+        for i in 0..16u64 {
+            let out = h.access(0, (1 << 20) + i * 64, false);
+            emitted += out.prefetches.len();
+        }
+        assert!(emitted > 0, "stream must trigger prefetches");
+        // Installing a prefetched line makes it an L3 hit.
+        h.install_prefetch(1 << 22);
+        assert_eq!(h.access(0, 1 << 22, false).level, HitLevel::L3);
+    }
+
+    #[test]
+    fn no_prefetcher_no_candidates() {
+        let mut h = Hierarchy::table1(1);
+        for i in 0..16u64 {
+            assert!(h.access(0, i * 64, false).prefetches.is_empty());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! SRAM cache hierarchy model.
+//!
+//! Implements the on-chip cache levels of the paper's Table I: per-core
+//! 32KB 4-way L1 and 256KB 8-way L2, plus a 12MB 16-way shared L3, all with
+//! 64B lines, LRU replacement and write-back/write-allocate semantics.
+//!
+//! The hierarchy tells the caller *where* a reference hit and which dirty
+//! lines were displaced; the caller (the CPU/system model) charges latency
+//! and forwards misses and writebacks to the memory system.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_cache::{CacheConfig, Hierarchy, HitLevel};
+//!
+//! let mut h = Hierarchy::new(2, CacheConfig::table1_l1(), CacheConfig::table1_l2(),
+//!                            CacheConfig::table1_l3());
+//! let first = h.access(0, 0x4000, false);
+//! assert_eq!(first.level, HitLevel::Memory);
+//! let second = h.access(0, 0x4000, false);
+//! assert_eq!(second.level, HitLevel::L1);
+//! ```
+
+mod config;
+mod hierarchy;
+mod prefetch;
+mod replacement;
+mod set_assoc;
+mod stats;
+
+pub use config::CacheConfig;
+pub use hierarchy::{Hierarchy, HierarchyOutcome, HitLevel};
+pub use prefetch::{PrefetchConfig, StridePrefetcher};
+pub use replacement::ReplacementPolicy;
+pub use set_assoc::{AccessKind, LookupResult, SetAssocCache};
+pub use stats::CacheStats;

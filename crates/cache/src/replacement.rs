@@ -1,0 +1,143 @@
+//! Cache replacement policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which line a set evicts on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Least-recently used (the default; what the paper's GEM5 caches use).
+    Lru,
+    /// First-in first-out: insertion order, hits do not refresh.
+    Fifo,
+    /// Uniform random victim (deterministic xorshift).
+    Random,
+    /// Static re-reference interval prediction (2-bit RRPV): scan-resistant
+    /// — streaming lines are inserted "far" and evicted before reused data.
+    Srrip,
+}
+
+impl Default for ReplacementPolicy {
+    fn default() -> Self {
+        ReplacementPolicy::Lru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccessKind, CacheConfig, ReplacementPolicy, SetAssocCache};
+    use chameleon_simkit::mem::ByteSize;
+
+    fn tiny(policy: ReplacementPolicy) -> SetAssocCache {
+        // 1 set, 4 ways.
+        SetAssocCache::with_policy(
+            CacheConfig {
+                name: "tiny".to_owned(),
+                capacity: ByteSize::bytes_exact(256),
+                ways: 4,
+                line_bytes: 64,
+                latency: 1,
+            },
+            policy,
+        )
+    }
+
+    #[test]
+    fn default_policy_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+        assert_eq!(tiny(ReplacementPolicy::Lru).policy(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut c = tiny(ReplacementPolicy::Fifo);
+        for i in 0..4u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        // Hit line 0 repeatedly; under LRU it would survive, under FIFO
+        // it is still the oldest.
+        for _ in 0..10 {
+            c.access(0, AccessKind::Read);
+        }
+        c.access(4 * 64, AccessKind::Read); // evicts the FIFO-oldest
+        assert!(!c.probe(0), "FIFO evicts the oldest insertion despite hits");
+
+        let mut l = tiny(ReplacementPolicy::Lru);
+        for i in 0..4u64 {
+            l.access(i * 64, AccessKind::Read);
+        }
+        for _ in 0..10 {
+            l.access(0, AccessKind::Read);
+        }
+        l.access(4 * 64, AccessKind::Read);
+        assert!(l.probe(0), "LRU protects the reused line");
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let run = || {
+            let mut c = tiny(ReplacementPolicy::Random);
+            let mut resident = Vec::new();
+            for i in 0..64u64 {
+                c.access(i * 64, AccessKind::Read);
+            }
+            for i in 0..64u64 {
+                resident.push(c.probe(i * 64));
+            }
+            resident
+        };
+        assert_eq!(run(), run(), "deterministic victims");
+        assert_eq!(run().iter().filter(|&&r| r).count(), 4, "exactly 4 resident");
+    }
+
+    #[test]
+    fn srrip_resists_scans_longer_than_lru() {
+        let survives_scan_of = |policy: ReplacementPolicy| -> u64 {
+            let mut c = tiny(policy);
+            // Establish a reused line.
+            c.access(0, AccessKind::Read);
+            c.access(0, AccessKind::Read);
+            // Stream single-use lines until the reused line is evicted.
+            let mut i = 1u64;
+            while c.probe(0) && i < 64 {
+                c.access(i * 64, AccessKind::Read);
+                i += 1;
+            }
+            i
+        };
+        let lru = survives_scan_of(ReplacementPolicy::Lru);
+        let srrip = survives_scan_of(ReplacementPolicy::Srrip);
+        assert!(
+            srrip > lru,
+            "SRRIP ({srrip} scan lines) should outlast LRU ({lru})"
+        );
+        // And a short scan never displaces the reused line under SRRIP.
+        let mut c = tiny(ReplacementPolicy::Srrip);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        for i in 1..8u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn all_policies_count_stats_identically() {
+        for p in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Srrip,
+        ] {
+            let mut c = tiny(p);
+            for i in 0..16u64 {
+                c.access(i * 64, AccessKind::Read);
+            }
+            assert_eq!(c.stats().accesses(), 16, "{p:?}");
+            assert_eq!(
+                c.stats().hits.value() + c.stats().misses.value(),
+                16,
+                "{p:?}"
+            );
+        }
+    }
+}

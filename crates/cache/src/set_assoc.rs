@@ -1,0 +1,340 @@
+//! A set-associative, write-back/write-allocate cache with LRU replacement.
+
+use crate::{CacheConfig, CacheStats, ReplacementPolicy};
+
+/// Whether a reference reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (marks the line dirty).
+    Write,
+}
+
+/// Result of a lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled; a dirty victim (if any)
+    /// must be written back to the next level at the given line address.
+    Miss {
+        /// Line-aligned address of an evicted dirty line, if one exists.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Last-use stamp for LRU (insertion stamp for FIFO).
+    used: u64,
+    /// Re-reference prediction value for SRRIP.
+    rrpv: u8,
+}
+
+/// One set-associative cache level.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_cache::{AccessKind, CacheConfig, LookupResult, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::table1_l1());
+/// assert!(matches!(c.access(0x80, AccessKind::Read), LookupResult::Miss { .. }));
+/// assert_eq!(c.access(0x80, AccessKind::Read), LookupResult::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    line_shift: u32,
+    clock: u64,
+    policy: ReplacementPolicy,
+    /// xorshift state for the Random policy.
+    rng_state: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_policy(cfg, ReplacementPolicy::Lru)
+    }
+
+    /// Builds an empty cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    pub fn with_policy(cfg: CacheConfig, policy: ReplacementPolicy) -> Self {
+        let sets = cfg.sets();
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        Self {
+            sets: vec![vec![Line::default(); cfg.ways as usize]; sets],
+            line_shift,
+            cfg,
+            clock: 0,
+            policy,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The replacement policy in use.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets.len() as u64) as usize;
+        (set, line)
+    }
+
+    /// Looks up `addr`; on a miss the line is allocated (write-allocate)
+    /// and the LRU victim evicted.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> LookupResult {
+        self.clock += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+
+        let policy = self.policy;
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            if policy != ReplacementPolicy::Fifo {
+                line.used = clock;
+            }
+            line.rrpv = 0;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.record(kind, true);
+            return LookupResult::Hit;
+        }
+
+        // Miss: pick an invalid way, else the policy's victim.
+        let mut rng_state = self.rng_state;
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            Self::pick_victim(set, policy, &mut rng_state)
+        });
+        self.rng_state = rng_state;
+        let victim = set[victim_idx];
+        let writeback = (victim.valid && victim.dirty).then(|| victim.tag << self.line_shift);
+        if victim.valid {
+            self.stats.evictions.inc();
+            if writeback.is_some() {
+                self.stats.writebacks.inc();
+            }
+        }
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            used: clock,
+            // SRRIP inserts with a long re-reference prediction.
+            rrpv: 2,
+        };
+        self.stats.record(kind, false);
+        LookupResult::Miss { writeback }
+    }
+
+    fn pick_victim(set: &mut [Line], policy: ReplacementPolicy, rng: &mut u64) -> usize {
+        match policy {
+            // LRU and FIFO both evict the smallest stamp; they differ in
+            // whether hits refresh it.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.used)
+                .map(|(i, _)| i)
+                .expect("associativity is non-zero"),
+            ReplacementPolicy::Random => {
+                *rng ^= *rng << 13;
+                *rng ^= *rng >> 7;
+                *rng ^= *rng << 17;
+                (*rng % set.len() as u64) as usize
+            }
+            ReplacementPolicy::Srrip => loop {
+                if let Some(i) = set.iter().position(|l| l.rrpv >= 3) {
+                    break i;
+                }
+                for l in set.iter_mut() {
+                    l.rrpv = l.rrpv.saturating_add(1);
+                }
+            },
+        }
+    }
+
+    /// Whether `addr`'s line is currently present (no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Drops `addr`'s line if present, returning its line address if it was
+    /// dirty (the caller must write it back).
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let (set_idx, tag) = self.locate(addr);
+        let shift = self.line_shift;
+        let set = &mut self.sets[set_idx];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                return line.dirty.then(|| tag << shift);
+            }
+        }
+        None
+    }
+
+    /// Marks `addr` present without counting an access (used to warm up).
+    pub fn touch(&mut self, addr: u64) {
+        self.clock += 1;
+        let (set_idx, tag) = self.locate(addr);
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.used = clock;
+            return;
+        }
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.used)
+                .map(|(i, _)| i)
+                .expect("associativity is non-zero")
+        });
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            used: clock,
+            rrpv: 2,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_simkit::mem::ByteSize;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets, 2 ways, 64B lines = 256B.
+        SetAssocCache::new(CacheConfig {
+            name: "tiny".to_owned(),
+            capacity: ByteSize::bytes_exact(256),
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0, AccessKind::Read), LookupResult::Miss { writeback: None }));
+        assert_eq!(c.access(0, AccessKind::Read), LookupResult::Hit);
+        assert_eq!(c.access(63, AccessKind::Read), LookupResult::Hit, "same line");
+        assert!(matches!(c.access(64, AccessKind::Read), LookupResult::Miss { .. }), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines whose line-index is even (2 sets).
+        c.access(0, AccessKind::Read); // line 0 -> set 0
+        c.access(128, AccessKind::Read); // line 2 -> set 0
+        c.access(0, AccessKind::Read); // touch line 0 (now MRU)
+        c.access(256, AccessKind::Read); // line 4 -> set 0, evicts line 2
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.access(128, AccessKind::Read);
+        // Third distinct line in set 0 evicts LRU (line 0, dirty).
+        match c.access(256, AccessKind::Read) {
+            LookupResult::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks.value(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(128, AccessKind::Read);
+        match c.access(256, AccessKind::Read) {
+            LookupResult::Miss { writeback } => assert_eq!(writeback, None),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_address() {
+        let mut c = tiny();
+        c.access(0x40, AccessKind::Write);
+        assert_eq!(c.invalidate(0x40), Some(0x40));
+        assert!(!c.probe(0x40));
+        assert_eq!(c.invalidate(0x40), None, "already gone");
+        c.access(0x40, AccessKind::Read);
+        assert_eq!(c.invalidate(0x40), None, "clean line");
+    }
+
+    #[test]
+    fn touch_warms_without_stats() {
+        let mut c = tiny();
+        c.touch(0);
+        assert!(c.probe(0));
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access(0, AccessKind::Read), LookupResult::Hit);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write);
+        assert_eq!(c.stats().accesses(), 3);
+        assert_eq!(c.stats().hits.value(), 2);
+        assert_eq!(c.stats().misses.value(), 1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_pow2_set_cache_works() {
+        let mut c = SetAssocCache::new(CacheConfig::table1_l3());
+        for i in 0..100_000u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        assert_eq!(c.stats().accesses(), 100_000);
+    }
+}

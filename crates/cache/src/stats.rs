@@ -1,0 +1,93 @@
+//! Cache statistics.
+
+use chameleon_simkit::stats::Counter;
+use serde::{Deserialize, Serialize};
+
+use crate::AccessKind;
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Load references.
+    pub reads: Counter,
+    /// Store references.
+    pub writes: Counter,
+    /// References that hit.
+    pub hits: Counter,
+    /// References that missed.
+    pub misses: Counter,
+    /// Valid lines displaced.
+    pub evictions: Counter,
+    /// Dirty lines displaced (traffic to the next level).
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Records one reference.
+    pub fn record(&mut self, kind: AccessKind, hit: bool) {
+        match kind {
+            AccessKind::Read => self.reads.inc(),
+            AccessKind::Write => self.writes.inc(),
+        }
+        if hit {
+            self.hits.inc();
+        } else {
+            self.misses.inc();
+        }
+    }
+
+    /// Total references.
+    pub fn accesses(&self) -> u64 {
+        self.reads.value() + self.writes.value()
+    }
+
+    /// Hit fraction; zero when no references were made.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits.value() as f64 / n as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses.value() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_partitions() {
+        let mut s = CacheStats::default();
+        s.record(AccessKind::Read, true);
+        s.record(AccessKind::Write, false);
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.hits.value(), 1);
+        assert_eq!(s.misses.value(), 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn mpki_math() {
+        let mut s = CacheStats::default();
+        for _ in 0..30 {
+            s.record(AccessKind::Read, false);
+        }
+        assert!((s.mpki(1000) - 30.0).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Homogeneous off-chip-only baselines (Figure 18's
+//! `baseline_20GB_DDR3` / `baseline_24GB_DDR3`).
+
+use chameleon_os::isa::IsaHook;
+use chameleon_simkit::mem::ByteSize;
+use chameleon_simkit::Cycle;
+
+use chameleon_dram::MemOp;
+
+use crate::policy::{HmaPolicy, ModeDistribution};
+use crate::{HmaConfig, HmaDevices, HmaStats};
+
+/// A flat memory system: every access goes to the off-chip device; the
+/// stacked device exists but is never referenced (the baselines in the
+/// paper simply have no stacked DRAM).
+///
+/// # Example
+///
+/// ```
+/// use chameleon_core::{FlatPolicy, HmaConfig, policy::HmaPolicy};
+/// use chameleon_simkit::mem::ByteSize;
+///
+/// let mut flat = FlatPolicy::new(HmaConfig::scaled_laptop(), ByteSize::mib(384));
+/// let lat = flat.access(1 << 20, false, 0);
+/// assert!(lat > 0);
+/// assert_eq!(flat.stats().stacked_hit_rate(), 0.0);
+/// ```
+#[derive(Debug)]
+pub struct FlatPolicy {
+    cfg: HmaConfig,
+    devices: HmaDevices,
+    stats: HmaStats,
+    name: String,
+}
+
+impl FlatPolicy {
+    /// Builds a flat baseline whose off-chip device has `capacity` total
+    /// bytes (e.g. the 20GB and 24GB baselines of Figure 18).
+    pub fn new(mut cfg: HmaConfig, capacity: ByteSize) -> Self {
+        cfg.offchip.capacity = capacity;
+        let name = format!("Flat-{capacity}");
+        Self {
+            devices: HmaDevices::new(&cfg),
+            stats: HmaStats::default(),
+            name,
+            cfg,
+        }
+    }
+}
+
+impl IsaHook for FlatPolicy {
+    fn isa_alloc(&mut self, _addr: u64, _len: u64, _now: u64) {}
+    fn isa_free(&mut self, _addr: u64, _len: u64, _now: u64) {}
+}
+
+impl HmaPolicy for FlatPolicy {
+    fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
+        self.stats.demand_accesses.inc();
+        let op = if write { MemOp::Write } else { MemOp::Read };
+        // The device wraps addresses modulo its capacity, so any OS
+        // physical address is acceptable.
+        let latency = self.devices.offchip.access(paddr, 64, op, now).latency;
+        self.stats.access_latency.record(latency as f64);
+        latency
+    }
+
+    fn writeback(&mut self, paddr: u64, now: Cycle) {
+        self.stats.llc_writebacks.inc();
+        self.devices.offchip.access(paddr, 64, MemOp::Write, now);
+    }
+
+    fn stats(&self) -> &HmaStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = HmaStats::default();
+        self.devices.offchip.reset_stats();
+    }
+
+    fn settle(&mut self) {
+        self.devices = HmaDevices::new(&self.cfg);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn devices(&self) -> &HmaDevices {
+        &self.devices
+    }
+
+    fn mode_distribution(&self) -> ModeDistribution {
+        ModeDistribution::default()
+    }
+}
+
+/// A static NUMA mapping: stacked-range addresses go to the stacked
+/// device, off-chip-range addresses to the off-chip device, with no
+/// hardware remapping. This is the substrate for the OS-managed
+/// comparisons (first-touch allocation and AutoNUMA, Figures 2 and 20) —
+/// data placement is entirely the OS's problem.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_core::{HmaConfig, StaticNumaPolicy, policy::HmaPolicy};
+///
+/// let cfg = HmaConfig::scaled_laptop();
+/// let off_base = cfg.stacked.capacity.bytes();
+/// let mut numa = StaticNumaPolicy::new(cfg);
+/// numa.access(0, false, 0); // stacked node
+/// numa.access(off_base, false, 0); // off-chip node
+/// assert_eq!(numa.stats().stacked_hit_rate(), 0.5);
+/// ```
+#[derive(Debug)]
+pub struct StaticNumaPolicy {
+    cfg: HmaConfig,
+    devices: HmaDevices,
+    stacked_bytes: u64,
+    stats: HmaStats,
+}
+
+impl StaticNumaPolicy {
+    /// Builds the static NUMA substrate.
+    pub fn new(cfg: HmaConfig) -> Self {
+        Self {
+            devices: HmaDevices::new(&cfg),
+            stacked_bytes: cfg.stacked.capacity.bytes(),
+            stats: HmaStats::default(),
+            cfg,
+        }
+    }
+}
+
+impl IsaHook for StaticNumaPolicy {
+    // For the OS-managed systems the only steady-state ISA traffic is
+    // AutoNUMA page migration (alloc of the target frame, free of the
+    // source): charge the page copy as bulk traffic on both devices so
+    // migrations consume real bandwidth like the paper's.
+    fn isa_alloc(&mut self, addr: u64, len: u64, now: u64) {
+        if addr < self.stacked_bytes {
+            self.devices
+                .stacked
+                .bulk(addr, len as u32, MemOp::Write, now);
+        } else {
+            self.devices
+                .offchip
+                .bulk(addr - self.stacked_bytes, len as u32, MemOp::Write, now);
+        }
+    }
+
+    fn isa_free(&mut self, addr: u64, len: u64, now: u64) {
+        if addr < self.stacked_bytes {
+            self.devices.stacked.bulk(addr, len as u32, MemOp::Read, now);
+        } else {
+            self.devices
+                .offchip
+                .bulk(addr - self.stacked_bytes, len as u32, MemOp::Read, now);
+        }
+    }
+}
+
+impl HmaPolicy for StaticNumaPolicy {
+    fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
+        self.stats.demand_accesses.inc();
+        let op = if write { MemOp::Write } else { MemOp::Read };
+        let latency = if paddr < self.stacked_bytes {
+            self.stats.stacked_hits.inc();
+            self.devices.stacked.access(paddr, 64, op, now).latency
+        } else {
+            self.devices
+                .offchip
+                .access(paddr - self.stacked_bytes, 64, op, now)
+                .latency
+        };
+        self.stats.access_latency.record(latency as f64);
+        latency
+    }
+
+    fn writeback(&mut self, paddr: u64, now: Cycle) {
+        self.stats.llc_writebacks.inc();
+        if paddr < self.stacked_bytes {
+            self.devices.stacked.access(paddr, 64, MemOp::Write, now);
+        } else {
+            self.devices
+                .offchip
+                .access(paddr - self.stacked_bytes, 64, MemOp::Write, now);
+        }
+    }
+
+    fn stats(&self) -> &HmaStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = HmaStats::default();
+        self.devices.stacked.reset_stats();
+        self.devices.offchip.reset_stats();
+    }
+
+    fn settle(&mut self) {
+        self.devices = HmaDevices::new(&self.cfg);
+    }
+
+    fn name(&self) -> &str {
+        "Static-NUMA"
+    }
+
+    fn devices(&self) -> &HmaDevices {
+        &self.devices
+    }
+
+    fn mode_distribution(&self) -> ModeDistribution {
+        ModeDistribution::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_numa_routes_by_address() {
+        let cfg = HmaConfig::scaled_laptop();
+        let off_base = cfg.stacked.capacity.bytes();
+        let mut p = StaticNumaPolicy::new(cfg);
+        p.access(4096, false, 0);
+        p.access(off_base + 4096, true, 0);
+        assert_eq!(p.devices().stacked.stats().reads.value(), 1);
+        assert_eq!(p.devices().offchip.stats().writes.value(), 1);
+        assert_eq!(p.stats().stacked_hits.value(), 1);
+        assert_eq!(p.name(), "Static-NUMA");
+    }
+
+    #[test]
+    fn static_numa_stacked_is_faster() {
+        let cfg = HmaConfig::scaled_laptop();
+        let off_base = cfg.stacked.capacity.bytes();
+        let mut p = StaticNumaPolicy::new(cfg);
+        let fast = p.access(0, false, 0);
+        let slow = p.access(off_base, false, 0);
+        assert!(slow > fast, "off-chip ({slow}) should exceed stacked ({fast})");
+    }
+
+    #[test]
+    fn all_traffic_is_offchip() {
+        let mut f = FlatPolicy::new(HmaConfig::scaled_laptop(), ByteSize::mib(384));
+        for i in 0..100u64 {
+            f.access(i * 64, i % 3 == 0, 0);
+        }
+        assert_eq!(f.stats().demand_accesses.value(), 100);
+        assert_eq!(f.stats().stacked_hits.value(), 0);
+        assert_eq!(f.devices().stacked.stats().reads.value(), 0);
+        assert_eq!(
+            f.devices().offchip.stats().reads.value()
+                + f.devices().offchip.stats().writes.value(),
+            100
+        );
+    }
+
+    #[test]
+    fn name_reflects_capacity() {
+        let f = FlatPolicy::new(HmaConfig::scaled_laptop(), ByteSize::mib(384));
+        assert_eq!(f.name(), "Flat-384.0MiB");
+    }
+
+    #[test]
+    fn isa_hooks_are_inert() {
+        let mut f = FlatPolicy::new(HmaConfig::scaled_laptop(), ByteSize::mib(384));
+        f.isa_alloc(0, 4096, 0);
+        f.isa_free(0, 4096, 0);
+        assert_eq!(f.mode_distribution().cache_fraction(), 0.0);
+    }
+}

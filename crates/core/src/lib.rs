@@ -1,0 +1,62 @@
+//! CHAMELEON: a dynamically reconfigurable heterogeneous memory system.
+//!
+//! This crate implements the paper's contribution and all the hardware
+//! memory-organisation baselines it is evaluated against:
+//!
+//! * [`policy::HmaPolicy`] — the interface every heterogeneous-memory
+//!   architecture implements: service a demand access, receive
+//!   `ISA-Alloc`/`ISA-Free` notifications from the OS, report statistics.
+//! * [`PomPolicy`] — the hardware-managed Part-of-Memory baseline
+//!   (Sim et al., MICRO'14): segment-restricted remapping with a
+//!   competing-counter swap policy. With 64-byte segments it doubles as a
+//!   CAMEO-style organisation.
+//! * [`ChameleonPolicy`] — the paper's contribution, in both flavours:
+//!   basic Chameleon (stacked free space becomes cache) and Chameleon-Opt
+//!   (proactive remapping converts *any* free space into stacked cache
+//!   space).
+//! * [`AlloyPolicy`] — the latency-optimised direct-mapped DRAM cache
+//!   (Qureshi & Loh).
+//! * [`PolymorphicPolicy`] — the Polymorphic-Memory patent baseline
+//!   (Figure 22): free stacked space as cache, but no hot-data swapping.
+//! * [`FlatPolicy`] — homogeneous off-chip-only baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_core::{ChameleonPolicy, HmaConfig, policy::HmaPolicy};
+//! use chameleon_os::isa::IsaHook;
+//!
+//! let cfg = HmaConfig::scaled_laptop();
+//! let mut hma = ChameleonPolicy::new_opt(cfg.clone());
+//! // The OS allocates the first two segments...
+//! hma.isa_alloc(0, cfg.segment.bytes() * 2, 0);
+//! // ...and the CPU reads from the first one.
+//! let latency = hma.access(64, false, 1_000);
+//! assert!(latency > 0);
+//! ```
+
+mod alloy;
+mod machine;
+mod chameleon;
+mod config;
+mod devices;
+pub mod encoding;
+mod flat;
+mod geometry;
+pub mod policy;
+mod pom;
+mod srrt;
+mod stats;
+
+pub use alloy::AlloyPolicy;
+pub use chameleon::ChameleonPolicy;
+pub use config::HmaConfig;
+pub use devices::HmaDevices;
+pub use flat::{FlatPolicy, StaticNumaPolicy};
+pub use geometry::{SegLoc, SegmentGeometry};
+pub use policy::{HmaPolicy, ModeDistribution};
+pub use pom::PomPolicy;
+pub use srrt::{Mode, SegmentGroupTable, SrrtEntry, MAX_SLOTS};
+pub use stats::HmaStats;
+
+pub use chameleon::PolymorphicPolicy;

@@ -1,0 +1,80 @@
+//! The policy interface every heterogeneous memory architecture
+//! implements.
+
+use chameleon_os::isa::IsaHook;
+use chameleon_simkit::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::{HmaDevices, HmaStats};
+
+/// Census of segment-group operating modes (Figures 16 and 21).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModeDistribution {
+    /// Groups currently operating as a hardware-managed cache.
+    pub cache_groups: u64,
+    /// Groups currently operating as part of memory.
+    pub pom_groups: u64,
+}
+
+impl ModeDistribution {
+    /// Fraction of groups in cache mode.
+    pub fn cache_fraction(&self) -> f64 {
+        let total = self.cache_groups + self.pom_groups;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_groups as f64 / total as f64
+        }
+    }
+}
+
+/// A heterogeneous memory architecture: services LLC-miss demand traffic
+/// and reacts to OS allocation notifications (`ISA-Alloc`/`ISA-Free` are
+/// delivered through the [`IsaHook`] supertrait).
+pub trait HmaPolicy: IsaHook {
+    /// Services one demand access (a 64B line) at OS physical address
+    /// `paddr`, returning the requester-visible latency in CPU cycles.
+    fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle;
+
+    /// Drains one dirty LLC victim line to memory. Posted: consumes
+    /// bandwidth at the line's current location but never promotes,
+    /// fills, or trains the hot-segment counters (no allocate-on-
+    /// writeback).
+    fn writeback(&mut self, paddr: u64, now: Cycle);
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &HmaStats;
+
+    /// Resets statistics after warm-up (device state is preserved).
+    fn reset_stats(&mut self);
+
+    /// Completes all in-flight transfers and quiesces device timing state
+    /// (bank/bus clocks), so setup traffic from a pre-fault phase does not
+    /// pollute timed measurement. Remapping/cache contents are preserved.
+    fn settle(&mut self);
+
+    /// Architecture name for reports.
+    fn name(&self) -> &str;
+
+    /// The DRAM devices (bandwidth/row-buffer statistics).
+    fn devices(&self) -> &HmaDevices;
+
+    /// Current cache/PoM mode census. Architectures without
+    /// reconfigurable groups report everything as PoM.
+    fn mode_distribution(&self) -> ModeDistribution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_fraction_math() {
+        let d = ModeDistribution {
+            cache_groups: 2,
+            pom_groups: 6,
+        };
+        assert!((d.cache_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(ModeDistribution::default().cache_fraction(), 0.0);
+    }
+}

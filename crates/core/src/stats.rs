@@ -1,0 +1,102 @@
+//! Statistics every heterogeneous-memory policy reports.
+
+use chameleon_simkit::stats::{Counter, RunningStat};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one policy instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HmaStats {
+    /// Demand accesses presented by the LLC miss path.
+    pub demand_accesses: Counter,
+    /// Demand accesses serviced by the stacked DRAM (remapped segments,
+    /// cache hits, in-transit lines whose source side is stacked) — the
+    /// numerator of Figure 15's hit rate.
+    pub stacked_hits: Counter,
+    /// Demand accesses to in-transit segments serviced from the *slow*
+    /// memory's side (source buffers); not stacked hits.
+    pub buffer_hits: Counter,
+    /// Segment swaps between the memories (Figure 17), including
+    /// cache-mode dirty evictions, per the paper's accounting.
+    pub swaps: Counter,
+    /// Subset of `swaps` triggered by `ISA-Alloc`/`ISA-Free` transitions
+    /// (the Section VI-F overhead).
+    pub isa_swaps: Counter,
+    /// Cache-mode fills of clean segments (half the traffic of a swap).
+    pub fills: Counter,
+    /// Dirty-victim writebacks in cache mode.
+    pub writebacks: Counter,
+    /// Posted dirty-line writebacks received from the LLC.
+    pub llc_writebacks: Counter,
+    /// Security-clear segment writes (Section V-D2).
+    pub clears: Counter,
+    /// Accesses that targeted a freed segment (stale writebacks from the
+    /// SRAM hierarchy); serviced without touching live data.
+    pub stale_accesses: Counter,
+    /// `ISA-Alloc` segment notifications processed.
+    pub isa_allocs: Counter,
+    /// `ISA-Free` segment notifications processed.
+    pub isa_frees: Counter,
+    /// Requester-visible demand latency (Figure 19's AMAT).
+    pub access_latency: RunningStat,
+    /// Demand latency of accesses serviced by the stacked device.
+    pub stacked_latency: RunningStat,
+    /// Demand latency of accesses serviced by the off-chip device.
+    pub offchip_latency: RunningStat,
+    /// Demand latency of in-transit (buffer-side) accesses.
+    pub transit_latency: RunningStat,
+}
+
+impl HmaStats {
+    /// Stacked-DRAM hit rate: fraction of demand accesses actually
+    /// serviced on the stacked side (Figure 15).
+    pub fn stacked_hit_rate(&self) -> f64 {
+        let n = self.demand_accesses.value();
+        if n == 0 {
+            0.0
+        } else {
+            self.stacked_hits.value() as f64 / n as f64
+        }
+    }
+
+    /// Average memory access latency in CPU cycles (Figure 19).
+    pub fn amat(&self) -> f64 {
+        self.access_latency.mean()
+    }
+
+    /// Swaps plus dirty-eviction writebacks — the paper counts cache-mode
+    /// dirty evictions as swaps since they consume both memories'
+    /// bandwidth (Section VI-B).
+    pub fn effective_swaps(&self) -> u64 {
+        self.swaps.value() + self.writebacks.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_counts_only_stacked_service() {
+        let mut s = HmaStats::default();
+        s.demand_accesses.add(4);
+        s.stacked_hits.add(2);
+        s.buffer_hits.add(1); // slow-side transit service: not a hit
+        assert!((s.stacked_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = HmaStats::default();
+        assert_eq!(s.stacked_hit_rate(), 0.0);
+        assert_eq!(s.amat(), 0.0);
+        assert_eq!(s.effective_swaps(), 0);
+    }
+
+    #[test]
+    fn effective_swaps_counts_dirty_evictions() {
+        let mut s = HmaStats::default();
+        s.swaps.add(10);
+        s.writebacks.add(3);
+        assert_eq!(s.effective_swaps(), 13);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the Chameleon remapping architectures.
+//!
+//! These drive random interleavings of `ISA-Alloc`, `ISA-Free` and demand
+//! accesses through the policies and check the structural invariants the
+//! paper's hardware relies on.
+
+use chameleon_core::{
+    encoding, policy::HmaPolicy, ChameleonPolicy, HmaConfig, Mode, PomPolicy, SegmentGeometry,
+    SrrtEntry,
+};
+use chameleon_os::isa::IsaHook;
+use chameleon_simkit::mem::ByteSize;
+use proptest::prelude::*;
+
+const SEG: u64 = 2048;
+
+fn cfg() -> HmaConfig {
+    let mut c = HmaConfig::scaled_laptop();
+    c.stacked.capacity = ByteSize::mib(2);
+    c.offchip.capacity = ByteSize::mib(10);
+    c
+}
+
+fn geometry() -> SegmentGeometry {
+    SegmentGeometry::new(ByteSize::mib(2), ByteSize::mib(10), ByteSize::kib(2))
+}
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Alloc { group: u64, slot: u8 },
+    Free { group: u64, slot: u8 },
+    Access { group: u64, slot: u8, write: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    (0u64..64, 0u8..6, 0u8..3, any::<bool>()).prop_map(|(group, slot, kind, write)| match kind {
+        0 => OpKind::Alloc { group, slot },
+        1 => OpKind::Free { group, slot },
+        _ => OpKind::Access { group, slot, write },
+    })
+}
+
+/// Drives a policy with a random op sequence, keeping a software model of
+/// which segments are allocated so accesses only target live segments
+/// (like a real OS).
+fn drive(policy: &mut ChameleonPolicy, ops: &[OpKind]) {
+    let geo = geometry();
+    let mut allocated = std::collections::HashSet::new();
+    let mut now = 0u64;
+    for op in ops {
+        now += 5_000_000;
+        match *op {
+            OpKind::Alloc { group, slot } => {
+                if allocated.insert((group, slot)) {
+                    policy.isa_alloc(geo.slot_addr(group, slot), SEG, now);
+                }
+            }
+            OpKind::Free { group, slot } => {
+                if allocated.remove(&(group, slot)) {
+                    policy.isa_free(geo.slot_addr(group, slot), SEG, now);
+                }
+            }
+            OpKind::Access { group, slot, write } => {
+                if allocated.contains(&(group, slot)) {
+                    policy.access(geo.slot_addr(group, slot) + 64, write, now);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SRRT remains a permutation and the mode bit tracks the ABV for
+    /// basic Chameleon: a group is in cache mode iff its stacked-range
+    /// segment is free.
+    #[test]
+    fn basic_chameleon_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut p = ChameleonPolicy::new_basic(cfg());
+        drive(&mut p, &ops);
+        for g in 0..64u64 {
+            let e = p.srrt().entry(g);
+            prop_assert!(e.check_permutation(), "group {g} remap corrupted");
+            let cache = e.mode() == Mode::Cache;
+            prop_assert_eq!(
+                cache,
+                !e.is_allocated(0),
+                "group {} mode/ABV mismatch", g
+            );
+            if cache {
+                // Invariant C: the stacked physical slot is backed by the
+                // free stacked-range segment.
+                prop_assert_eq!(e.physical_of(0), 0);
+                // Anything cached must be a live off-chip segment.
+                if let Some(c) = e.cached() {
+                    prop_assert!(e.is_allocated(c));
+                    prop_assert_ne!(c, 0);
+                }
+            }
+        }
+    }
+
+    /// Chameleon-Opt: a group is in cache mode iff it has at least one
+    /// free segment, and in cache mode the stacked physical slot is
+    /// always backed by a free segment.
+    #[test]
+    fn opt_chameleon_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut p = ChameleonPolicy::new_opt(cfg());
+        drive(&mut p, &ops);
+        for g in 0..64u64 {
+            let e = p.srrt().entry(g);
+            prop_assert!(e.check_permutation(), "group {g} remap corrupted");
+            let cache = e.mode() == Mode::Cache;
+            prop_assert_eq!(cache, !e.all_allocated(), "group {} mode census", g);
+            if cache {
+                let backing = e.logical_in(0);
+                prop_assert!(
+                    !e.is_allocated(backing),
+                    "group {} stacked slot backed by live segment {}",
+                    g,
+                    backing
+                );
+                if let Some(c) = e.cached() {
+                    prop_assert!(e.is_allocated(c));
+                }
+            }
+        }
+    }
+
+    /// PoM ignores ISA traffic entirely: any alloc/free sequence leaves
+    /// every group in PoM mode with an intact permutation.
+    #[test]
+    fn pom_is_free_space_agnostic(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut p = PomPolicy::new(cfg());
+        let geo = geometry();
+        let mut now = 0;
+        for op in &ops {
+            now += 5_000_000;
+            match *op {
+                OpKind::Alloc { group, slot } => p.isa_alloc(geo.slot_addr(group, slot), SEG, now),
+                OpKind::Free { group, slot } => p.isa_free(geo.slot_addr(group, slot), SEG, now),
+                OpKind::Access { group, slot, write } => {
+                    p.access(geo.slot_addr(group, slot), write, now);
+                }
+            }
+        }
+        prop_assert_eq!(p.mode_distribution().cache_groups, 0);
+        for g in 0..64u64 {
+            prop_assert!(p.srrt().entry(g).check_permutation());
+        }
+    }
+
+    /// Accesses always return a positive, bounded latency, and the
+    /// stacked hit counters never exceed total accesses.
+    #[test]
+    fn latency_and_counter_sanity(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut p = ChameleonPolicy::new_opt(cfg());
+        let geo = geometry();
+        let mut allocated = std::collections::HashSet::new();
+        let mut now = 0u64;
+        for op in &ops {
+            now += 5_000_000;
+            match *op {
+                OpKind::Alloc { group, slot } => {
+                    if allocated.insert((group, slot)) {
+                        p.isa_alloc(geo.slot_addr(group, slot), SEG, now);
+                    }
+                }
+                OpKind::Free { group, slot } => {
+                    if allocated.remove(&(group, slot)) {
+                        p.isa_free(geo.slot_addr(group, slot), SEG, now);
+                    }
+                }
+                OpKind::Access { group, slot, write } => {
+                    if allocated.contains(&(group, slot)) {
+                        let lat = p.access(geo.slot_addr(group, slot), write, now);
+                        prop_assert!(lat > 0);
+                        prop_assert!(lat < 1_000_000, "latency {lat} absurd");
+                    }
+                }
+            }
+        }
+        let s = p.stats();
+        prop_assert!(
+            s.stacked_hits.value() + s.buffer_hits.value() + s.stale_accesses.value()
+                <= s.demand_accesses.value()
+        );
+        prop_assert!(s.stacked_hit_rate() <= 1.0);
+    }
+}
+
+proptest! {
+    /// The hardware bit encoding of an SRRT entry roundtrips losslessly
+    /// for every reachable (permutation, ABV, mode, counter) combination.
+    #[test]
+    fn srrt_encoding_roundtrips(
+        swaps in prop::collection::vec((0u8..6, 0u8..6), 0..12),
+        abv_bits in 0u8..64,
+        cache_mode in any::<bool>(),
+        counter in any::<u16>(),
+        slots in prop::sample::select(vec![4u8, 6, 8]),
+    ) {
+        let mut e = SrrtEntry::new(slots);
+        for (a, b) in swaps {
+            e.swap_homes(a % slots, b % slots);
+        }
+        for l in 0..slots {
+            e.set_allocated(l, abv_bits & (1 << (l % 6)) != 0);
+        }
+        e.set_mode(if cache_mode { Mode::Cache } else { Mode::Pom });
+        e.set_counter(counter);
+        let packed = encoding::pack(&e);
+        prop_assert_eq!(packed.width as u32, encoding::entry_bits(slots));
+        let back = encoding::unpack(&packed, slots);
+        for l in 0..slots {
+            prop_assert_eq!(back.physical_of(l), e.physical_of(l));
+            prop_assert_eq!(back.is_allocated(l), e.is_allocated(l));
+        }
+        prop_assert_eq!(back.mode(), e.mode());
+        prop_assert_eq!(back.counter(), e.counter());
+        prop_assert!(back.check_permutation());
+    }
+}

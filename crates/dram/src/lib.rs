@@ -1,0 +1,45 @@
+//! Bank/bus-level DRAM timing model.
+//!
+//! Models a DRAM device the way the paper's GEM5 memory controllers do, at
+//! the granularity that matters for Chameleon's conclusions: row-buffer
+//! state machines per bank (`tCAS`/`tRCD`/`tRP`/`tRAS`), periodic refresh
+//! (`tRFC`/`tREFI`), and a per-channel data bus whose width and clock set
+//! the achievable bandwidth. Two instances of [`DramModel`] — a wide, fast
+//! *stacked* device and a narrow, slow *off-chip* device (Table I of the
+//! paper) — form the heterogeneous memory the rest of the workspace
+//! manages.
+//!
+//! The model is *request-level*: callers present `(address, size, op, now)`
+//! and receive the cycle at which data transfer completes. Contention is
+//! captured by monotonic per-bank and per-bus "free at" clocks rather than
+//! by a full command scheduler; this reproduces bandwidth/latency shape
+//! without per-command simulation cost.
+//!
+//! # Example
+//!
+//! ```
+//! use chameleon_dram::{DramConfig, DramModel, MemOp};
+//! use chameleon_simkit::ClockDomain;
+//!
+//! let cpu = ClockDomain::from_ghz(3.6);
+//! let mut stacked = DramModel::new(DramConfig::stacked_4gb(), cpu);
+//! let first = stacked.access(0x1000, 64, MemOp::Read, 0);
+//! let second = stacked.access(0x1040, 64, MemOp::Read, first.done);
+//! assert!(second.done > first.done);
+//! assert!(second.row_hit, "same-row access should hit the row buffer");
+//! ```
+
+mod addr;
+mod bank;
+mod config;
+mod model;
+mod power;
+pub mod sched;
+mod stats;
+
+pub use addr::{AddrDecoder, DecodedAddr};
+pub use bank::CpuTimings;
+pub use config::{DramConfig, DramTimings};
+pub use model::{AccessOutcome, DramModel, MemOp};
+pub use power::{EnergyCounter, EnergyParams};
+pub use stats::DramStats;

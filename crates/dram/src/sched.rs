@@ -1,0 +1,375 @@
+//! A command-level FR-FCFS channel scheduler.
+//!
+//! The request-level [`crate::DramModel`] resolves each access to a
+//! completion time immediately (monotonic bank/bus cursors). This module
+//! is the *reference* implementation: explicit read/write queues, FR-FCFS
+//! arbitration (oldest row-hit first, then oldest), write-drain
+//! watermarks, and per-bank state — the machinery a real memory
+//! controller runs. It exists to validate the analytic model (see the
+//! `models_agree_on_bandwidth` test) and to support command-level
+//! experiments.
+
+use chameleon_simkit::Cycle;
+
+use crate::bank::{Bank, CpuTimings};
+
+/// Identifier of a queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(pub u64);
+
+/// A queued DRAM request (single 64B line).
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    id: RequestId,
+    bank: usize,
+    row: u64,
+    arrival: Cycle,
+    is_write: bool,
+}
+
+/// A completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request that finished.
+    pub id: RequestId,
+    /// Cycle its data transfer completed.
+    pub done: Cycle,
+    /// Whether it hit an open row.
+    pub row_hit: bool,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Banks on this channel.
+    pub banks: usize,
+    /// Device timings, already converted to CPU cycles.
+    pub timings: CpuTimings,
+    /// CPU cycles to move one 64B line over the bus.
+    pub line_transfer: Cycle,
+    /// Start draining writes when the write queue reaches this depth.
+    pub write_high_watermark: usize,
+    /// Stop draining when it falls to this depth.
+    pub write_low_watermark: usize,
+}
+
+/// One channel's FR-FCFS scheduler.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_dram::sched::{ChannelScheduler, SchedConfig};
+/// use chameleon_dram::{DramConfig, DramModel};
+/// use chameleon_simkit::ClockDomain;
+///
+/// let mut s = ChannelScheduler::new(SchedConfig::from_device(
+///     &DramConfig::offchip_20gb(), ClockDomain::from_ghz(3.6)));
+/// let a = s.enqueue_read(0, 5, 0);
+/// let b = s.enqueue_read(0, 5, 0);
+/// let done = s.run_until_idle();
+/// assert_eq!(done.len(), 2);
+/// assert_eq!(done[0].id, a);
+/// assert!(done[1].row_hit, "same-row request scheduled as a row hit");
+/// assert_eq!(done[1].id, b);
+/// ```
+#[derive(Debug)]
+pub struct ChannelScheduler {
+    cfg: SchedConfig,
+    banks: Vec<Bank>,
+    read_q: Vec<Request>,
+    write_q: Vec<Request>,
+    time: Cycle,
+    bus_free: Cycle,
+    draining: bool,
+    next_id: u64,
+}
+
+impl SchedConfig {
+    /// Derives a scheduler configuration from a device configuration
+    /// (per channel).
+    pub fn from_device(dev: &crate::DramConfig, cpu: chameleon_simkit::ClockDomain) -> Self {
+        let bus = dev.bus_clock;
+        let t = &dev.timings;
+        let timings = CpuTimings {
+            t_cas: bus.convert_cycles(t.t_cas as Cycle, &cpu),
+            t_rcd: bus.convert_cycles(t.t_rcd as Cycle, &cpu),
+            t_rp: bus.convert_cycles(t.t_rp as Cycle, &cpu),
+            t_ras: bus.convert_cycles(t.t_ras as Cycle, &cpu),
+            t_rfc: cpu.ns_to_cycles(t.t_rfc_ns),
+            t_refi: cpu.ns_to_cycles(t.t_refi_ns),
+        };
+        let line_bus_cycles = 64u64.div_ceil(dev.bytes_per_bus_cycle());
+        Self {
+            banks: (dev.ranks_per_channel * dev.banks_per_rank) as usize,
+            timings,
+            line_transfer: bus.convert_cycles(line_bus_cycles, &cpu).max(1),
+            write_high_watermark: 16,
+            write_low_watermark: 4,
+        }
+    }
+}
+
+impl ChannelScheduler {
+    /// Builds an idle scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration.
+    pub fn new(cfg: SchedConfig) -> Self {
+        assert!(cfg.banks > 0, "at least one bank");
+        assert!(
+            cfg.write_low_watermark < cfg.write_high_watermark,
+            "watermarks must be ordered"
+        );
+        Self {
+            banks: vec![Bank::default(); cfg.banks],
+            cfg,
+            read_q: Vec::new(),
+            write_q: Vec::new(),
+            time: 0,
+            bus_free: 0,
+            draining: false,
+            next_id: 0,
+        }
+    }
+
+    fn fresh_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId(self.next_id)
+    }
+
+    /// Queues a read for `(bank, row)` arriving at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn enqueue_read(&mut self, bank: usize, row: u64, at: Cycle) -> RequestId {
+        assert!(bank < self.cfg.banks, "bank {bank} out of range");
+        let id = self.fresh_id();
+        self.read_q.push(Request {
+            id,
+            bank,
+            row,
+            arrival: at,
+            is_write: false,
+        });
+        id
+    }
+
+    /// Queues a write for `(bank, row)` arriving at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn enqueue_write(&mut self, bank: usize, row: u64, at: Cycle) -> RequestId {
+        assert!(bank < self.cfg.banks, "bank {bank} out of range");
+        let id = self.fresh_id();
+        self.write_q.push(Request {
+            id,
+            bank,
+            row,
+            arrival: at,
+            is_write: true,
+        });
+        id
+    }
+
+    /// Pending request count (both queues).
+    pub fn pending(&self) -> usize {
+        self.read_q.len() + self.write_q.len()
+    }
+
+    /// Runs the scheduler until both queues are empty, returning the
+    /// completions in service order.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        let mut done = Vec::new();
+        while self.pending() > 0 {
+            done.push(self.service_one());
+        }
+        done
+    }
+
+    /// FR-FCFS selection from a queue: oldest row-hit first, else oldest
+    /// arrived request.
+    fn select(queue: &[Request], banks: &[Bank], now: Cycle) -> Option<usize> {
+        let eligible = queue.iter().enumerate().filter(|(_, r)| r.arrival <= now);
+        // Prefer row hits among eligible requests.
+        if let Some((i, _)) = eligible
+            .clone()
+            .filter(|(_, r)| banks[r.bank].classify_hit(r.row))
+            .min_by_key(|(_, r)| r.arrival)
+        {
+            return Some(i);
+        }
+        queue
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.arrival <= now)
+            .min_by_key(|(_, r)| r.arrival)
+            .map(|(i, _)| i)
+    }
+
+    fn service_one(&mut self) -> Completion {
+        // Write drain mode hysteresis.
+        if self.write_q.len() >= self.cfg.write_high_watermark {
+            self.draining = true;
+        }
+        if self.write_q.len() <= self.cfg.write_low_watermark {
+            self.draining = false;
+        }
+        let use_writes = self.read_q.is_empty() || (self.draining && !self.write_q.is_empty());
+
+        let (queue_is_writes, idx) = loop {
+            let queue: &[Request] = if use_writes { &self.write_q } else { &self.read_q };
+            if let Some(i) = Self::select(queue, &self.banks, self.time) {
+                break (use_writes, i);
+            }
+            // Nothing eligible yet: advance time to the next arrival.
+            let next_arrival = self
+                .read_q
+                .iter()
+                .chain(self.write_q.iter())
+                .map(|r| r.arrival)
+                .min()
+                .expect("pending() > 0");
+            self.time = self.time.max(next_arrival);
+        };
+
+        let req = if queue_is_writes {
+            self.write_q.swap_remove(idx)
+        } else {
+            self.read_q.swap_remove(idx)
+        };
+        debug_assert_eq!(req.is_write, queue_is_writes);
+
+        let issue = self.time.max(req.arrival);
+        let (outcome, data_at) = self.banks[req.bank].access(req.row, issue, &self.cfg.timings);
+        let start = data_at.max(self.bus_free);
+        let done = start + self.cfg.line_transfer;
+        self.bus_free = done;
+        self.time = self.time.max(issue);
+        Completion {
+            id: req.id,
+            done,
+            row_hit: outcome == crate::bank::RowOutcome::Hit,
+        }
+    }
+
+    /// Read-only configuration access.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DramConfig, DramModel, MemOp};
+    use chameleon_simkit::ClockDomain;
+
+    fn sched() -> ChannelScheduler {
+        ChannelScheduler::new(SchedConfig::from_device(
+            &DramConfig::offchip_20gb(),
+            ClockDomain::from_ghz(3.6),
+        ))
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits() {
+        let mut s = sched();
+        // All requests in the queue at once: the first opens row 1; the
+        // younger row-1 request is then preferred over the older row-2
+        // conflict (first-ready, first-come-first-served).
+        let warm = s.enqueue_read(0, 1, 0);
+        let conflict = s.enqueue_read(0, 2, 0);
+        let hit = s.enqueue_read(0, 1, 0);
+        let done = s.run_until_idle();
+        assert_eq!(done[0].id, warm);
+        assert_eq!(done[1].id, hit, "younger row hit bypasses older conflict");
+        assert!(done[1].row_hit);
+        assert_eq!(done[2].id, conflict);
+    }
+
+    #[test]
+    fn fcfs_when_no_hits() {
+        let mut s = sched();
+        let a = s.enqueue_read(0, 1, 0);
+        let b = s.enqueue_read(1, 2, 1);
+        let done = s.run_until_idle();
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[1].id, b);
+    }
+
+    #[test]
+    fn writes_drain_at_high_watermark() {
+        let mut s = sched();
+        // Fill the write queue past the watermark, plus a steady stream of
+        // reads; writes must eventually be serviced.
+        for i in 0..20 {
+            s.enqueue_write(i % 16, 7, 0);
+        }
+        for i in 0..4 {
+            s.enqueue_read(i, 1, 0);
+        }
+        let done = s.run_until_idle();
+        assert_eq!(done.len(), 24);
+    }
+
+    #[test]
+    fn reads_prioritised_below_watermark() {
+        let mut s = sched();
+        for _ in 0..4 {
+            s.enqueue_write(0, 9, 0); // below high watermark
+        }
+        let r = s.enqueue_read(1, 1, 0);
+        let done = s.run_until_idle();
+        assert_eq!(done[0].id, r, "reads bypass a shallow write queue");
+    }
+
+    #[test]
+    fn completions_monotonic_on_bus() {
+        let mut s = sched();
+        for i in 0..50u64 {
+            s.enqueue_read((i % 16) as usize, i / 16, i);
+        }
+        let done = s.run_until_idle();
+        for w in done.windows(2) {
+            assert!(w[1].done > w[0].done, "bus serialises transfers");
+        }
+    }
+
+    /// The analytic model and the command-level scheduler agree on
+    /// sustained bandwidth for a saturating same-arrival workload within
+    /// a modest tolerance.
+    #[test]
+    fn models_agree_on_bandwidth() {
+        let cpu = ClockDomain::from_ghz(3.6);
+        let dev = DramConfig::offchip_20gb();
+        let n: u64 = 4096;
+
+        // Command-level: n sequential-line reads, all at time 0 (use only
+        // channel 0's share of the address stream).
+        let mut s = ChannelScheduler::new(SchedConfig::from_device(&dev, cpu));
+        for i in 0..n {
+            // 32 lines per 2KB row.
+            s.enqueue_read(((i / 32) % 16) as usize, i / 512, 0);
+        }
+        let last_sched = s.run_until_idle().last().expect("completions").done;
+
+        // Analytic model: same pattern pinned to one channel by striding
+        // addresses 2 rows apart (channel bit is the row's LSB).
+        let mut m = DramModel::new(dev, cpu);
+        let mut last_model = 0;
+        for i in 0..n {
+            let row = (i / 32) * 2; // even rows -> channel 0
+            let addr = row * 2048 + (i % 32) * 64;
+            last_model = last_model.max(m.access(addr, 64, MemOp::Read, 0).done);
+        }
+
+        let ratio = last_sched as f64 / last_model as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "bandwidth disagreement: sched {last_sched} vs model {last_model}"
+        );
+    }
+}

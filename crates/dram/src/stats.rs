@@ -1,0 +1,75 @@
+//! Statistics collected by a [`crate::DramModel`].
+
+use chameleon_simkit::stats::{Counter, RunningStat};
+use serde::{Deserialize, Serialize};
+
+/// Counters and aggregates for one DRAM device.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Read requests serviced.
+    pub reads: Counter,
+    /// Write requests serviced.
+    pub writes: Counter,
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Accesses to a precharged bank.
+    pub row_closed: Counter,
+    /// Row-buffer conflicts (open row had to be closed).
+    pub row_conflicts: Counter,
+    /// Total bytes moved over the data buses.
+    pub bytes_transferred: Counter,
+    /// Refresh operations applied.
+    pub refreshes: Counter,
+    /// Distribution of request service latency (CPU cycles, queue included).
+    pub latency: RunningStat,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.reads.value() + self.writes.value();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits.value() as f64 / total as f64
+        }
+    }
+
+    /// Achieved bandwidth in GB/s given the elapsed CPU cycles and clock.
+    pub fn achieved_bandwidth_gbps(&self, elapsed_cycles: u64, cpu_mhz: f64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = elapsed_cycles as f64 / (cpu_mhz * 1.0e6);
+        self.bytes_transferred.value() as f64 / seconds / 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_reads_and_writes() {
+        let mut s = DramStats::default();
+        s.reads.add(3);
+        s.writes.add(1);
+        s.row_hits.add(2);
+        assert_eq!(s.row_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = DramStats::default();
+        s.bytes_transferred.add(3_600_000_000); // 3.6 GB
+        // 3.6e9 cycles at 3600 MHz = 1 second.
+        let bw = s.achieved_bandwidth_gbps(3_600_000_000, 3600.0);
+        assert!((bw - 3.6).abs() < 1e-9);
+        assert_eq!(s.achieved_bandwidth_gbps(0, 3600.0), 0.0);
+    }
+}

@@ -1,0 +1,909 @@
+//! The kernel model: processes, demand paging, swap, and ISA notification.
+
+use std::collections::{HashMap, VecDeque};
+
+use chameleon_simkit::mem::ByteSize;
+use chameleon_simkit::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{BuddyAllocator, MemoryMap, NodeId, NodePreference};
+use crate::isa::IsaHook;
+use crate::ledger::{GroupLedger, LedgerConfig};
+use crate::page_table::{PageState, PageTable, PAGE_SIZE};
+use crate::stats::OsStats;
+use crate::swap::{SsdConfig, SsdModel};
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+/// Which nodes the OS can allocate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Both stacked and off-chip DRAM are OS-visible (PoM, Chameleon).
+    Both,
+    /// Only off-chip DRAM is OS-visible (cache architectures: the stacked
+    /// DRAM is hidden hardware state).
+    OffchipOnly,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OsConfig {
+    /// The swap device (Table I: 100K-cycle page reads); queueing under
+    /// thrashing is modelled by [`crate::swap::SsdModel`].
+    pub ssd: SsdConfig,
+    /// Stall for a minor (first-touch) fault.
+    pub minor_fault_latency: Cycle,
+    /// Node selection policy for new allocations.
+    pub preference: NodePreference,
+    /// Which nodes the OS may allocate from.
+    pub visibility: Visibility,
+    /// Allocate 2MB transparent huge pages when a whole huge region is
+    /// untouched.
+    pub use_thp: bool,
+    /// Hand out frames in scrambled order, modelling the fragmented free
+    /// lists of a long-running machine (the state Figure 3 measures). The
+    /// paper's free space is scattered across segment groups for the same
+    /// reason.
+    pub scatter_allocations: bool,
+    /// Group-aware placement (the paper's Section VI-G extension): the
+    /// kernel mirrors the per-group ABV state and scores candidate frames
+    /// so allocations avoid consuming a group's last free segment.
+    pub group_placement: Option<LedgerConfig>,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        Self {
+            ssd: SsdConfig::default(),
+            minor_fault_latency: 2_000,
+            preference: NodePreference::Balanced,
+            visibility: Visibility::Both,
+            use_thp: false,
+            scatter_allocations: true,
+            group_placement: None,
+        }
+    }
+}
+
+/// The kind of page fault a touch incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// First touch; a frame was demand-allocated.
+    Minor,
+    /// Swapped-out page read back from the SSD.
+    Major,
+}
+
+/// Result of touching a virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// Translated physical address.
+    pub paddr: u64,
+    /// Fault incurred, if any.
+    pub fault: Option<FaultKind>,
+    /// CPU cycles the faulting task stalls.
+    pub stall: Cycle,
+}
+
+/// Kernel errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsError {
+    /// The pid is not a live process.
+    NoSuchProcess(Pid),
+    /// The virtual address exceeds the process footprint.
+    OutOfRange(u64),
+    /// A page migration target node has no free space (-ENOMEM).
+    MigrationEnomem,
+    /// The physical page is not currently mapped by anyone.
+    NotMapped(u64),
+}
+
+impl std::fmt::Display for OsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsError::NoSuchProcess(p) => write!(f, "no such process {p:?}"),
+            OsError::OutOfRange(v) => write!(f, "virtual address {v:#x} out of range"),
+            OsError::MigrationEnomem => write!(f, "migration failed: no memory on target node"),
+            OsError::NotMapped(p) => write!(f, "physical page {p:#x} not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+#[derive(Debug)]
+struct Process {
+    table: PageTable,
+    footprint: u64,
+}
+
+/// The operating-system model.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct OsKernel {
+    cfg: OsConfig,
+    map: MemoryMap,
+    stacked_alloc: Option<BuddyAllocator>,
+    offchip_alloc: BuddyAllocator,
+    processes: HashMap<Pid, Process>,
+    /// FIFO of resident pages for replacement, validated lazily against
+    /// `reverse` (stale entries are skipped).
+    fifo: VecDeque<u64>,
+    /// frame base -> (pid, vpn) reverse map of resident frames.
+    reverse: HashMap<u64, (Pid, u64)>,
+    next_pid: u32,
+    alloc_rr: u64,
+    ledger: Option<GroupLedger>,
+    ssd: SsdModel,
+    stats: OsStats,
+}
+
+impl OsKernel {
+    /// Builds a kernel over the given physical map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node capacities are not 2MB-aligned (buddy requirement).
+    pub fn new(cfg: OsConfig, map: MemoryMap) -> Self {
+        let scramble = |a: BuddyAllocator, seed: u64| {
+            if cfg.scatter_allocations {
+                a.with_scramble(seed)
+            } else {
+                a
+            }
+        };
+        let stacked_alloc = match cfg.visibility {
+            Visibility::Both => Some(scramble(
+                BuddyAllocator::new(map.base(NodeId::Stacked), map.stacked().bytes()),
+                0x5EED_0001,
+            )),
+            Visibility::OffchipOnly => None,
+        };
+        let offchip_alloc = scramble(
+            BuddyAllocator::new(map.base(NodeId::Offchip), map.offchip().bytes()),
+            0x5EED_0002,
+        );
+        Self {
+            cfg,
+            map,
+            stacked_alloc,
+            offchip_alloc,
+            processes: HashMap::new(),
+            fifo: VecDeque::new(),
+            reverse: HashMap::new(),
+            next_pid: 1,
+            alloc_rr: 0,
+            ledger: cfg.group_placement.map(GroupLedger::new),
+            ssd: SsdModel::new(cfg.ssd),
+            stats: OsStats::default(),
+        }
+    }
+
+    /// The configuration the kernel was built with.
+    pub fn config(&self) -> &OsConfig {
+        &self.cfg
+    }
+
+    /// The physical memory map.
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// Resets statistics (page tables and allocations are untouched);
+    /// used between warm-up and measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = OsStats::default();
+        self.ssd = SsdModel::new(self.cfg.ssd);
+    }
+
+    /// The swap device (telemetry).
+    pub fn ssd(&self) -> &SsdModel {
+        &self.ssd
+    }
+
+    /// OS-visible free bytes on one node (zero for an invisible node).
+    pub fn free_bytes(&self, node: NodeId) -> u64 {
+        match node {
+            NodeId::Stacked => self.stacked_alloc.as_ref().map_or(0, |a| a.free_bytes()),
+            NodeId::Offchip => self.offchip_alloc.free_bytes(),
+        }
+    }
+
+    /// Total OS-visible free bytes.
+    pub fn total_free_bytes(&self) -> u64 {
+        self.free_bytes(NodeId::Stacked) + self.free_bytes(NodeId::Offchip)
+    }
+
+    /// Total OS-visible capacity.
+    pub fn visible_capacity(&self) -> ByteSize {
+        match self.cfg.visibility {
+            Visibility::Both => self.map.total(),
+            Visibility::OffchipOnly => self.map.offchip(),
+        }
+    }
+
+    /// Creates a process with the given maximum footprint.
+    pub fn spawn(&mut self, footprint: ByteSize) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.processes.insert(
+            pid,
+            Process {
+                table: PageTable::new(),
+                footprint: footprint.bytes(),
+            },
+        );
+        pid
+    }
+
+    /// Terminates a process, freeing all of its resident frames (each is
+    /// reported to the hardware via `ISA-Free`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
+    pub fn exit(&mut self, pid: Pid, now: Cycle, hook: &mut dyn IsaHook) -> Result<(), OsError> {
+        let mut proc = self
+            .processes
+            .remove(&pid)
+            .ok_or(OsError::NoSuchProcess(pid))?;
+        for frame in proc.table.clear() {
+            self.reverse.remove(&frame);
+            self.free_frame(frame, now, hook);
+        }
+        Ok(())
+    }
+
+    /// Whether `pid` is live.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.processes.contains_key(&pid)
+    }
+
+    /// Resident-set size of a process in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
+    pub fn rss(&self, pid: Pid) -> Result<u64, OsError> {
+        Ok(self
+            .processes
+            .get(&pid)
+            .ok_or(OsError::NoSuchProcess(pid))?
+            .table
+            .resident_pages() as u64
+            * PAGE_SIZE)
+    }
+
+    /// Translates without faulting (returns `None` if non-resident).
+    pub fn peek_translate(&self, pid: Pid, vaddr: u64) -> Option<u64> {
+        self.processes.get(&pid)?.table.translate(vaddr)
+    }
+
+    /// Touches a virtual address: translates it, demand-allocating or
+    /// swapping in as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchProcess`] or [`OsError::OutOfRange`].
+    pub fn touch(
+        &mut self,
+        pid: Pid,
+        vaddr: u64,
+        _write: bool,
+        now: Cycle,
+        hook: &mut dyn IsaHook,
+    ) -> Result<TouchOutcome, OsError> {
+        let proc = self
+            .processes
+            .get(&pid)
+            .ok_or(OsError::NoSuchProcess(pid))?;
+        if vaddr >= proc.footprint {
+            return Err(OsError::OutOfRange(vaddr));
+        }
+
+        match proc.table.state(vaddr) {
+            PageState::Resident { frame } => Ok(TouchOutcome {
+                paddr: frame + vaddr % PAGE_SIZE,
+                fault: None,
+                stall: 0,
+            }),
+            PageState::Untouched => {
+                let paddr = self.fault_in(pid, vaddr, now, hook);
+                self.stats.minor_faults.inc();
+                self.stats
+                    .fault_stall_cycles
+                    .add(self.cfg.minor_fault_latency);
+                Ok(TouchOutcome {
+                    paddr,
+                    fault: Some(FaultKind::Minor),
+                    stall: self.cfg.minor_fault_latency,
+                })
+            }
+            PageState::SwappedOut => {
+                let paddr = self.fault_in(pid, vaddr, now, hook);
+                let stall = self.ssd.read_page(now);
+                self.stats.major_faults.inc();
+                self.stats.fault_stall_cycles.add(stall);
+                Ok(TouchOutcome {
+                    paddr,
+                    fault: Some(FaultKind::Major),
+                    stall,
+                })
+            }
+        }
+    }
+
+    /// Releases one resident page of a process outright (no swap-out):
+    /// the frame is freed and the page returns to the untouched state.
+    /// Used for discardable memory such as the buffer cache.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] for an unknown pid; [`OsError::NotMapped`]
+    /// if the page is not resident.
+    pub fn release_page(
+        &mut self,
+        pid: Pid,
+        vaddr: u64,
+        now: Cycle,
+        hook: &mut dyn IsaHook,
+    ) -> Result<(), OsError> {
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(OsError::NoSuchProcess(pid))?;
+        let frame = proc.table.unmap(vaddr).ok_or(OsError::NotMapped(vaddr))?;
+        self.reverse.remove(&frame);
+        self.free_frame(frame, now, hook);
+        Ok(())
+    }
+
+    /// Migrates the resident physical page at `page_paddr` to `target`,
+    /// returning the new physical page address. Fails with `-ENOMEM` when
+    /// the target node has no free page (AutoNUMA semantics, Section
+    /// II-B2) — the kernel does **not** evict to make room for a
+    /// migration.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotMapped`] if no process maps the page;
+    /// [`OsError::MigrationEnomem`] if the target node is full.
+    pub fn migrate_page(
+        &mut self,
+        page_paddr: u64,
+        target: NodeId,
+        now: Cycle,
+        hook: &mut dyn IsaHook,
+    ) -> Result<u64, OsError> {
+        let frame_base = page_paddr & !(PAGE_SIZE - 1);
+        let &(pid, vpn) = self
+            .reverse
+            .get(&frame_base)
+            .ok_or(OsError::NotMapped(page_paddr))?;
+        let new_frame = match self.alloc_on(target) {
+            Some(f) => f,
+            None => {
+                self.stats.migration_enomem.inc();
+                return Err(OsError::MigrationEnomem);
+            }
+        };
+        hook.isa_alloc(new_frame, PAGE_SIZE, now);
+        if let Some(l) = &mut self.ledger {
+            l.on_alloc(new_frame, PAGE_SIZE);
+        }
+        self.stats.allocs.inc();
+        // Remap.
+        let proc = self.processes.get_mut(&pid).expect("reverse map is consistent");
+        proc.table.map(vpn * PAGE_SIZE, new_frame);
+        self.reverse.remove(&frame_base);
+        self.reverse.insert(new_frame, (pid, vpn));
+        self.fifo.push_back(new_frame);
+        self.free_frame(frame_base, now, hook);
+        self.stats.migrations.inc();
+        Ok(new_frame)
+    }
+
+    /// The OS-side group ledger, when group-aware placement is enabled.
+    pub fn ledger(&self) -> Option<&GroupLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// The `(pid, vpn)` currently mapped at a physical page, if any.
+    pub fn reverse_lookup(&self, page_paddr: u64) -> Option<(Pid, u64)> {
+        self.reverse
+            .get(&(page_paddr & !(PAGE_SIZE - 1)))
+            .copied()
+    }
+
+    fn fault_in(&mut self, pid: Pid, vaddr: u64, now: Cycle, hook: &mut dyn IsaHook) -> u64 {
+        // Try THP first when enabled and the whole huge region is
+        // untouched.
+        if self.cfg.use_thp && self.try_thp(pid, vaddr, now, hook) {
+            let proc = &self.processes[&pid];
+            return proc.table.translate(vaddr).expect("THP just mapped");
+        }
+        let frame = self.alloc_frame_evicting(now, hook);
+        hook.isa_alloc(frame, PAGE_SIZE, now);
+        if let Some(l) = &mut self.ledger {
+            l.on_alloc(frame, PAGE_SIZE);
+        }
+        self.stats.allocs.inc();
+        let proc = self.processes.get_mut(&pid).expect("checked by caller");
+        proc.table.map(vaddr, frame);
+        let vpn = PageTable::vpn(vaddr);
+        self.reverse.insert(frame, (pid, vpn));
+        self.fifo.push_back(frame);
+        frame + vaddr % PAGE_SIZE
+    }
+
+    fn try_thp(&mut self, pid: Pid, vaddr: u64, now: Cycle, hook: &mut dyn IsaHook) -> bool {
+        const HUGE: u64 = 2 << 20;
+        let huge_base = vaddr & !(HUGE - 1);
+        {
+            let proc = &self.processes[&pid];
+            if huge_base + HUGE > proc.footprint {
+                return false;
+            }
+            let all_untouched = (0..HUGE / PAGE_SIZE).all(|i| {
+                matches!(
+                    proc.table.state(huge_base + i * PAGE_SIZE),
+                    PageState::Untouched
+                )
+            });
+            if !all_untouched {
+                return false;
+            }
+        }
+        let Some(block) = self.alloc_order(9) else {
+            return false;
+        };
+        hook.isa_alloc(block, HUGE, now);
+        if let Some(l) = &mut self.ledger {
+            l.on_alloc(block, HUGE);
+        }
+        self.stats.allocs.inc();
+        let proc = self.processes.get_mut(&pid).expect("checked by caller");
+        for i in 0..HUGE / PAGE_SIZE {
+            let va = huge_base + i * PAGE_SIZE;
+            let frame = block + i * PAGE_SIZE;
+            proc.table.map(va, frame);
+            self.reverse.insert(frame, (pid, PageTable::vpn(va)));
+            self.fifo.push_back(frame);
+        }
+        true
+    }
+
+    fn alloc_frame_evicting(&mut self, now: Cycle, hook: &mut dyn IsaHook) -> u64 {
+        loop {
+            if let Some(f) = self.alloc_frame_scored() {
+                return f;
+            }
+            self.evict_one(now, hook);
+        }
+    }
+
+    /// Allocates one frame; with group-aware placement enabled, peeks a
+    /// few candidate frames from distinct free blocks and allocates the
+    /// one whose segment groups lose the least cacheability
+    /// (Section VI-G).
+    fn alloc_frame_scored(&mut self) -> Option<u64> {
+        const CANDIDATES: usize = 6;
+        if self.ledger.is_none() {
+            return self.alloc_order(0);
+        }
+        // Candidate frames from the preferred node (no allocation yet).
+        let mut cands = Vec::new();
+        let prefer_stacked = matches!(
+            self.cfg.preference,
+            NodePreference::FastFirst | NodePreference::Only(NodeId::Stacked)
+        );
+        let order: [NodeId; 2] = if prefer_stacked {
+            [NodeId::Stacked, NodeId::Offchip]
+        } else {
+            [NodeId::Offchip, NodeId::Stacked]
+        };
+        for node in order {
+            if cands.len() >= CANDIDATES {
+                break;
+            }
+            let want = CANDIDATES - cands.len();
+            match node {
+                NodeId::Stacked => {
+                    if let Some(a) = self.stacked_alloc.as_mut() {
+                        cands.extend(a.peek_candidates(want));
+                    }
+                }
+                NodeId::Offchip => cands.extend(self.offchip_alloc.peek_candidates(want)),
+            }
+            // Under a strict Only() preference, never cross nodes.
+            if matches!(self.cfg.preference, NodePreference::Only(_)) {
+                break;
+            }
+        }
+        let ledger = self.ledger.as_ref().expect("checked above");
+        let mut scored: Vec<(i64, u64)> = cands
+            .into_iter()
+            .map(|f| (ledger.score_frame(f), f))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        for (_, f) in scored {
+            let ok = match self.map.node_of(f) {
+                NodeId::Stacked => self
+                    .stacked_alloc
+                    .as_mut()
+                    .is_some_and(|a| a.alloc_exact_page(f)),
+                NodeId::Offchip => self.offchip_alloc.alloc_exact_page(f),
+            };
+            if ok {
+                return Some(f);
+            }
+        }
+        // No candidate committed: fall back to the plain path.
+        self.alloc_order(0)
+    }
+
+    fn evict_one(&mut self, now: Cycle, hook: &mut dyn IsaHook) {
+        loop {
+            let frame = self
+                .fifo
+                .pop_front()
+                .expect("nothing resident but allocation failed");
+            let Some(&(pid, vpn)) = self.reverse.get(&frame) else {
+                continue; // stale entry (freed or migrated)
+            };
+            self.reverse.remove(&frame);
+            let proc = self
+                .processes
+                .get_mut(&pid)
+                .expect("reverse map is consistent");
+            let freed = proc.table.swap_out(vpn * PAGE_SIZE);
+            debug_assert_eq!(freed, frame);
+            // The dirty page is written to the SSD asynchronously but
+            // still consumes device throughput.
+            self.ssd.write_page(now);
+            self.stats.swap_outs.inc();
+            self.free_frame(frame, now, hook);
+            return;
+        }
+    }
+
+    fn free_frame(&mut self, frame: u64, now: Cycle, hook: &mut dyn IsaHook) {
+        hook.isa_free(frame, PAGE_SIZE, now);
+        if let Some(l) = &mut self.ledger {
+            l.on_free(frame, PAGE_SIZE);
+        }
+        self.stats.frees.inc();
+        match self.map.node_of(frame) {
+            NodeId::Stacked => self
+                .stacked_alloc
+                .as_mut()
+                .expect("stacked frame implies visibility")
+                .free(frame, 0),
+            NodeId::Offchip => self.offchip_alloc.free(frame, 0),
+        }
+    }
+
+    fn alloc_on(&mut self, node: NodeId) -> Option<u64> {
+        match node {
+            NodeId::Stacked => self.stacked_alloc.as_mut()?.alloc(0),
+            NodeId::Offchip => self.offchip_alloc.alloc(0),
+        }
+    }
+
+    fn alloc_order(&mut self, order: u8) -> Option<u64> {
+        let pref = self.cfg.preference;
+        match pref {
+            NodePreference::Only(n) => self.alloc_order_on(n, order),
+            NodePreference::FastFirst => self
+                .alloc_order_on(NodeId::Stacked, order)
+                .or_else(|| self.alloc_order_on(NodeId::Offchip, order)),
+            NodePreference::SlowFirst => self
+                .alloc_order_on(NodeId::Offchip, order)
+                .or_else(|| self.alloc_order_on(NodeId::Stacked, order)),
+            NodePreference::Balanced => {
+                // Keep free fractions even across nodes so live data (and
+                // therefore free space) is spread uniformly over the
+                // physical address space.
+                self.alloc_rr += 1;
+                let sf = self.free_fraction(NodeId::Stacked);
+                let of = self.free_fraction(NodeId::Offchip);
+                let first = if sf > of { NodeId::Stacked } else { NodeId::Offchip };
+                let second = if sf > of { NodeId::Offchip } else { NodeId::Stacked };
+                self.alloc_order_on(first, order)
+                    .or_else(|| self.alloc_order_on(second, order))
+            }
+        }
+    }
+
+    fn alloc_order_on(&mut self, node: NodeId, order: u8) -> Option<u64> {
+        match node {
+            NodeId::Stacked => self.stacked_alloc.as_mut()?.alloc(order),
+            NodeId::Offchip => self.offchip_alloc.alloc(order),
+        }
+    }
+
+    fn free_fraction(&self, node: NodeId) -> f64 {
+        let (free, total) = match node {
+            NodeId::Stacked => match &self.stacked_alloc {
+                Some(a) => (a.free_bytes(), a.total_bytes()),
+                None => return -1.0,
+            },
+            NodeId::Offchip => (self.offchip_alloc.free_bytes(), self.offchip_alloc.total_bytes()),
+        };
+        free as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{NullHook, RecordingHook};
+
+    fn small_kernel(cfg: OsConfig) -> OsKernel {
+        OsKernel::new(cfg, MemoryMap::new(ByteSize::mib(4), ByteSize::mib(8)))
+    }
+
+    #[test]
+    fn first_touch_minor_fault_then_resident() {
+        let mut os = small_kernel(OsConfig::default());
+        let mut hook = RecordingHook::default();
+        let pid = os.spawn(ByteSize::mib(1));
+        let t1 = os.touch(pid, 0x1234, false, 0, &mut hook).unwrap();
+        assert_eq!(t1.fault, Some(FaultKind::Minor));
+        assert_eq!(t1.paddr % PAGE_SIZE, 0x234);
+        let t2 = os.touch(pid, 0x1000, false, 0, &mut hook).unwrap();
+        assert_eq!(t2.fault, None);
+        assert_eq!(t2.paddr, t1.paddr & !(PAGE_SIZE - 1));
+        assert_eq!(hook.allocs.len(), 1);
+    }
+
+    #[test]
+    fn footprint_bound_enforced() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::bytes_exact(PAGE_SIZE));
+        assert_eq!(
+            os.touch(pid, PAGE_SIZE, false, 0, &mut NullHook),
+            Err(OsError::OutOfRange(PAGE_SIZE))
+        );
+    }
+
+    #[test]
+    fn unknown_pid_rejected() {
+        let mut os = small_kernel(OsConfig::default());
+        assert_eq!(
+            os.touch(Pid(99), 0, false, 0, &mut NullHook),
+            Err(OsError::NoSuchProcess(Pid(99)))
+        );
+    }
+
+    #[test]
+    fn over_capacity_footprint_thrashes_with_major_faults() {
+        let mut os = small_kernel(OsConfig::default());
+        let mut hook = NullHook;
+        // Footprint double the 12MiB physical capacity.
+        let pid = os.spawn(ByteSize::mib(24));
+        let pages = (24 << 20) / PAGE_SIZE;
+        for p in 0..pages {
+            os.touch(pid, p * PAGE_SIZE, true, 0, &mut hook).unwrap();
+        }
+        assert_eq!(os.stats().major_faults.value(), 0, "first pass is all minor");
+        assert!(os.stats().swap_outs.value() > 0, "capacity pressure evicts");
+        // Second pass re-touches swapped-out pages: major faults.
+        for p in 0..pages {
+            os.touch(pid, p * PAGE_SIZE, true, 0, &mut hook).unwrap();
+        }
+        assert!(os.stats().major_faults.value() > 0);
+    }
+
+    #[test]
+    fn fits_in_memory_never_major_faults() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::mib(8));
+        for round in 0..3 {
+            for p in 0..(8 << 20) / PAGE_SIZE {
+                let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+                if round > 0 {
+                    assert_eq!(t.fault, None);
+                }
+            }
+        }
+        assert_eq!(os.stats().major_faults.value(), 0);
+    }
+
+    #[test]
+    fn exit_frees_everything_via_isa_free() {
+        let mut os = small_kernel(OsConfig::default());
+        let mut hook = RecordingHook::default();
+        let pid = os.spawn(ByteSize::mib(1));
+        for p in 0..16 {
+            os.touch(pid, p * PAGE_SIZE, false, 0, &mut hook).unwrap();
+        }
+        let before = os.total_free_bytes();
+        os.exit(pid, 0, &mut hook).unwrap();
+        assert_eq!(os.total_free_bytes(), before + 16 * PAGE_SIZE);
+        assert_eq!(hook.frees.len(), 16);
+        assert!(!os.is_alive(pid));
+    }
+
+    #[test]
+    fn rss_tracks_resident_pages() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::mib(1));
+        assert_eq!(os.rss(pid).unwrap(), 0);
+        os.touch(pid, 0, false, 0, &mut NullHook).unwrap();
+        os.touch(pid, 5 * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+        assert_eq!(os.rss(pid).unwrap(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn offchip_only_visibility_never_uses_stacked() {
+        let cfg = OsConfig {
+            visibility: Visibility::OffchipOnly,
+            preference: NodePreference::FastFirst,
+            ..OsConfig::default()
+        };
+        let mut os = small_kernel(cfg);
+        assert_eq!(os.free_bytes(NodeId::Stacked), 0);
+        assert_eq!(os.visible_capacity(), ByteSize::mib(8));
+        let pid = os.spawn(ByteSize::mib(1));
+        for p in 0..64 {
+            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Offchip);
+        }
+    }
+
+    #[test]
+    fn fast_first_fills_stacked_first() {
+        let cfg = OsConfig {
+            preference: NodePreference::FastFirst,
+            ..OsConfig::default()
+        };
+        let mut os = small_kernel(cfg);
+        let pid = os.spawn(ByteSize::mib(6));
+        // Touch 4MiB: should all land in stacked.
+        for p in 0..(4 << 20) / PAGE_SIZE {
+            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Stacked);
+        }
+        // Next page spills to off-chip.
+        let t = os
+            .touch(pid, (4 << 20) + 42, false, 0, &mut NullHook)
+            .unwrap();
+        assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Offchip);
+    }
+
+    #[test]
+    fn balanced_preference_spreads_allocations() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::mib(6));
+        let mut stacked = 0;
+        let mut offchip = 0;
+        for p in 0..(6 << 20) / PAGE_SIZE {
+            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            match os.memory_map().node_of(t.paddr) {
+                NodeId::Stacked => stacked += 1,
+                NodeId::Offchip => offchip += 1,
+            }
+        }
+        // 6MiB over a 4:8 split balanced by free fraction: stacked gets
+        // roughly a third.
+        let frac = stacked as f64 / (stacked + offchip) as f64;
+        assert!((0.2..0.5).contains(&frac), "stacked fraction {frac}");
+    }
+
+    #[test]
+    fn migration_moves_page_and_reports_isa() {
+        let cfg = OsConfig {
+            preference: NodePreference::SlowFirst,
+            ..OsConfig::default()
+        };
+        let mut os = small_kernel(cfg);
+        let mut hook = RecordingHook::default();
+        let pid = os.spawn(ByteSize::mib(1));
+        let t = os.touch(pid, 0, false, 0, &mut hook).unwrap();
+        assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Offchip);
+        let new = os
+            .migrate_page(t.paddr, NodeId::Stacked, 0, &mut hook)
+            .unwrap();
+        assert_eq!(os.memory_map().node_of(new), NodeId::Stacked);
+        assert_eq!(os.peek_translate(pid, 0), Some(new));
+        assert_eq!(os.stats().migrations.value(), 1);
+        // ISA traffic: alloc of new, free of old.
+        assert_eq!(hook.allocs.last(), Some(&(new, PAGE_SIZE)));
+        assert_eq!(hook.frees.last(), Some(&(t.paddr, PAGE_SIZE)));
+    }
+
+    #[test]
+    fn migration_enomem_when_target_full() {
+        let cfg = OsConfig {
+            preference: NodePreference::FastFirst,
+            ..OsConfig::default()
+        };
+        let mut os = small_kernel(cfg);
+        let pid = os.spawn(ByteSize::mib(6));
+        // Fill stacked completely, spilling one page to off-chip.
+        for p in 0..=(4 << 20) / PAGE_SIZE {
+            os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+        }
+        let off_paddr = os.peek_translate(pid, 4 << 20).unwrap();
+        assert_eq!(os.memory_map().node_of(off_paddr), NodeId::Offchip);
+        assert_eq!(
+            os.migrate_page(off_paddr, NodeId::Stacked, 0, &mut NullHook),
+            Err(OsError::MigrationEnomem)
+        );
+        assert_eq!(os.stats().migration_enomem.value(), 1);
+    }
+
+    #[test]
+    fn thp_allocates_huge_regions() {
+        let cfg = OsConfig {
+            use_thp: true,
+            ..OsConfig::default()
+        };
+        let mut os = small_kernel(cfg);
+        let mut hook = RecordingHook::default();
+        let pid = os.spawn(ByteSize::mib(4));
+        os.touch(pid, 0, false, 0, &mut hook).unwrap();
+        assert_eq!(hook.allocs, vec![(hook.allocs[0].0, 2 << 20)]);
+        // The rest of the huge region is already resident.
+        let t = os.touch(pid, (2 << 20) - PAGE_SIZE, false, 0, &mut hook).unwrap();
+        assert_eq!(t.fault, None);
+        assert_eq!(os.rss(pid).unwrap(), 2 << 20);
+    }
+
+    #[test]
+    fn group_aware_placement_preserves_cache_capable_groups() {
+        use crate::ledger::LedgerConfig;
+        let ledger_cfg = LedgerConfig {
+            segment_bytes: 2048,
+            stacked_segments: (2 << 20) / 2048,
+            stacked_bytes: 2 << 20,
+            slots_per_group: 5,
+        };
+        let map = MemoryMap::new(ByteSize::mib(2), ByteSize::mib(8));
+        let run = |placed: bool| {
+            let cfg = OsConfig {
+                group_placement: placed.then_some(ledger_cfg),
+                ..OsConfig::default()
+            };
+            let mut os = OsKernel::new(cfg, map);
+            let pid = os.spawn(ByteSize::mib(9));
+            // Allocate 90% of physical memory.
+            for p in 0..(9 << 20) / PAGE_SIZE {
+                os.touch(pid, p * PAGE_SIZE, true, 0, &mut NullHook).unwrap();
+            }
+            os
+        };
+        let placed = run(true);
+        let scattered = run(false);
+        assert!(placed.ledger().is_some());
+        assert!(scattered.ledger().is_none());
+        // The scored allocator keeps strictly more groups cache-capable
+        // than random placement would on average; verify against its own
+        // ledger (rebuild one for the scattered kernel is unnecessary --
+        // just check the placed fraction is high given 10% free).
+        let frac = placed.ledger().unwrap().cache_capable_fraction();
+        // 10% free spread over 5-slot groups: random gives
+        // 1-(0.9)^5 = 0.41; scoring should do better.
+        assert!(frac > 0.41, "placed fraction {frac} should beat random");
+    }
+
+    #[test]
+    fn fault_stall_cycles_accumulate() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::mib(1));
+        os.touch(pid, 0, false, 0, &mut NullHook).unwrap();
+        assert_eq!(
+            os.stats().fault_stall_cycles.value(),
+            os.config().minor_fault_latency
+        );
+    }
+}

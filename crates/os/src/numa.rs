@@ -1,0 +1,299 @@
+//! Linux Automatic NUMA Balancing (AutoNUMA) model.
+//!
+//! Reproduces the mechanism of Section II-B2 / III-A2 of the paper on the
+//! single-socket heterogeneous system: the kernel samples accesses (page
+//! poisoning), computes the remote-to-local ratio per scan epoch, and
+//! migrates hot *remote* (off-chip) pages into the stacked node while free
+//! space lasts; migrations fail with `-ENOMEM` once the stacked node is
+//! full, which is exactly the hit-rate collapse Figure 2c shows.
+//!
+//! The `numa_period_threshold` knob follows the paper's observation that a
+//! *higher* threshold migrates misplaced pages *more rapidly*: migration
+//! triggers once the sampled remote fraction exceeds `1 - threshold`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::NodeId;
+use crate::isa::IsaHook;
+use crate::kernel::OsKernel;
+use crate::page_table::PAGE_SIZE;
+
+/// AutoNUMA tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoNumaConfig {
+    /// `numa_period_threshold` (0.7 / 0.8 / 0.9 in Figure 2b).
+    pub threshold: f64,
+    /// Maximum pages migrated per epoch (the scan batch size).
+    pub max_migrations_per_epoch: usize,
+    /// Minimum sampled accesses before a remote page is considered hot.
+    pub min_hotness: u32,
+}
+
+impl Default for AutoNumaConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.9,
+            max_migrations_per_epoch: 4096,
+            min_hotness: 2,
+        }
+    }
+}
+
+/// Per-epoch outcome, the series Figure 2c plots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Pages migrated into the stacked node this epoch.
+    pub migrated: u64,
+    /// Migration attempts that failed with `-ENOMEM`.
+    pub enomem: u64,
+    /// Fraction of sampled accesses that were remote (off-chip).
+    pub remote_ratio: f64,
+    /// Stacked-DRAM hit rate observed this epoch.
+    pub stacked_hit_rate: f64,
+}
+
+/// The AutoNUMA balancing engine.
+///
+/// The system model feeds it every memory access via
+/// [`AutoNuma::record_access`]; the driver closes an epoch with
+/// [`AutoNuma::end_epoch`], which performs migrations through the kernel.
+#[derive(Debug)]
+pub struct AutoNuma {
+    cfg: AutoNumaConfig,
+    /// Sampled access counts for off-chip pages this epoch.
+    remote_pages: HashMap<u64, u32>,
+    local_accesses: u64,
+    remote_accesses: u64,
+    reports: Vec<EpochReport>,
+}
+
+impl AutoNuma {
+    /// Creates a balancer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0, 1)`.
+    pub fn new(cfg: AutoNumaConfig) -> Self {
+        assert!(
+            cfg.threshold > 0.0 && cfg.threshold < 1.0,
+            "threshold must be in (0,1), got {}",
+            cfg.threshold
+        );
+        Self {
+            cfg,
+            remote_pages: HashMap::new(),
+            local_accesses: 0,
+            remote_accesses: 0,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Records one sampled memory access at physical address `paddr`.
+    pub fn record_access(&mut self, paddr: u64, node: NodeId) {
+        match node {
+            NodeId::Stacked => self.local_accesses += 1,
+            NodeId::Offchip => {
+                self.remote_accesses += 1;
+                *self
+                    .remote_pages
+                    .entry(paddr & !(PAGE_SIZE - 1))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Closes the current scan epoch at cycle `now`: decides whether to
+    /// migrate, performs migrations through the kernel (stopping at
+    /// `-ENOMEM`), and returns the epoch report.
+    pub fn end_epoch(
+        &mut self,
+        kernel: &mut OsKernel,
+        hook: &mut dyn IsaHook,
+        now: u64,
+    ) -> EpochReport {
+        let total = self.local_accesses + self.remote_accesses;
+        let remote_ratio = if total == 0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / total as f64
+        };
+        let hit_rate = if total == 0 {
+            0.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        };
+
+        let mut migrated = 0;
+        let mut enomem = 0;
+        if remote_ratio > 1.0 - self.cfg.threshold {
+            // Hottest remote pages first.
+            let mut hot: Vec<(u64, u32)> = self
+                .remote_pages
+                .iter()
+                .filter(|&(_, &c)| c >= self.cfg.min_hotness)
+                .map(|(&p, &c)| (p, c))
+                .collect();
+            hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (page, _) in hot.into_iter().take(self.cfg.max_migrations_per_epoch) {
+                match kernel.migrate_page(page, NodeId::Stacked, now, hook) {
+                    Ok(_) => migrated += 1,
+                    Err(crate::kernel::OsError::MigrationEnomem) => {
+                        enomem += 1;
+                        // The node is full; later migrations fail too.
+                        break;
+                    }
+                    Err(crate::kernel::OsError::NotMapped(_)) => continue,
+                    Err(e) => panic!("unexpected migration error: {e}"),
+                }
+            }
+        }
+
+        let report = EpochReport {
+            migrated,
+            enomem,
+            remote_ratio,
+            stacked_hit_rate: hit_rate,
+        };
+        self.reports.push(report);
+        self.remote_pages.clear();
+        self.local_accesses = 0;
+        self.remote_accesses = 0;
+        report
+    }
+
+    /// All epoch reports so far (the Figure 2c timeline).
+    pub fn reports(&self) -> &[EpochReport] {
+        &self.reports
+    }
+
+    /// Cumulative stacked hit rate across all closed epochs.
+    pub fn cumulative_hit_rate(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.stacked_hit_rate).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{MemoryMap, NodePreference};
+    use crate::isa::NullHook;
+    use crate::kernel::{OsConfig, OsKernel};
+    use chameleon_simkit::mem::ByteSize;
+
+    fn kernel_slow_first() -> OsKernel {
+        OsKernel::new(
+            OsConfig {
+                preference: NodePreference::SlowFirst,
+                ..OsConfig::default()
+            },
+            MemoryMap::new(ByteSize::mib(2), ByteSize::mib(8)),
+        )
+    }
+
+    #[test]
+    fn migrates_hot_remote_pages() {
+        let mut os = kernel_slow_first();
+        let mut numa = AutoNuma::new(AutoNumaConfig::default());
+        let pid = os.spawn(ByteSize::mib(1));
+        // Fault in 16 pages (land off-chip under SlowFirst) and hammer them.
+        for p in 0..16u64 {
+            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            for _ in 0..10 {
+                numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
+            }
+        }
+        let report = numa.end_epoch(&mut os, &mut NullHook, 0);
+        assert_eq!(report.migrated, 16);
+        assert_eq!(report.stacked_hit_rate, 0.0);
+        assert!((report.remote_ratio - 1.0).abs() < 1e-12);
+        // All 16 pages now translate into the stacked node.
+        for p in 0..16u64 {
+            let pa = os.peek_translate(pid, p * PAGE_SIZE).unwrap();
+            assert_eq!(os.memory_map().node_of(pa), NodeId::Stacked);
+        }
+    }
+
+    #[test]
+    fn stops_at_enomem_when_stacked_full() {
+        let mut os = kernel_slow_first();
+        let mut numa = AutoNuma::new(AutoNumaConfig::default());
+        // Footprint bigger than the 2MiB stacked node.
+        let pid = os.spawn(ByteSize::mib(4));
+        for p in 0..(4 << 20) / PAGE_SIZE {
+            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
+            numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
+        }
+        let report = numa.end_epoch(&mut os, &mut NullHook, 0);
+        assert!(report.enomem > 0, "stacked node must fill up");
+        assert_eq!(report.migrated, (2 << 20) / PAGE_SIZE, "exactly the stacked capacity");
+    }
+
+    #[test]
+    fn below_trigger_ratio_no_migration() {
+        let mut os = kernel_slow_first();
+        // threshold 0.9 -> trigger when remote ratio > 0.1.
+        let mut numa = AutoNuma::new(AutoNumaConfig::default());
+        let pid = os.spawn(ByteSize::mib(1));
+        let t = os.touch(pid, 0, false, 0, &mut NullHook).unwrap();
+        // 5% remote traffic.
+        for _ in 0..95 {
+            numa.record_access(0, NodeId::Stacked);
+        }
+        for _ in 0..5 {
+            numa.record_access(t.paddr, NodeId::Offchip);
+        }
+        let report = numa.end_epoch(&mut os, &mut NullHook, 0);
+        assert_eq!(report.migrated, 0);
+        assert!((report.stacked_hit_rate - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_threshold_is_less_eager() {
+        // With threshold 0.7, a 25% remote ratio does not trigger; with
+        // 0.9 it does.
+        for (threshold, expect_migrations) in [(0.7, false), (0.9, true)] {
+            let mut os = kernel_slow_first();
+            let mut numa = AutoNuma::new(AutoNumaConfig {
+                threshold,
+                ..AutoNumaConfig::default()
+            });
+            let pid = os.spawn(ByteSize::mib(1));
+            let t = os.touch(pid, 0, false, 0, &mut NullHook).unwrap();
+            for _ in 0..75 {
+                numa.record_access(0, NodeId::Stacked);
+            }
+            for _ in 0..25 {
+                numa.record_access(t.paddr, NodeId::Offchip);
+            }
+            let report = numa.end_epoch(&mut os, &mut NullHook, 0);
+            assert_eq!(report.migrated > 0, expect_migrations, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn cumulative_hit_rate_averages_epochs() {
+        let mut os = kernel_slow_first();
+        let mut numa = AutoNuma::new(AutoNumaConfig::default());
+        numa.record_access(0, NodeId::Stacked);
+        numa.end_epoch(&mut os, &mut NullHook, 0);
+        numa.record_access(1 << 22, NodeId::Offchip);
+        numa.end_epoch(&mut os, &mut NullHook, 0);
+        assert!((numa.cumulative_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(numa.reports().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        AutoNuma::new(AutoNumaConfig {
+            threshold: 1.5,
+            ..AutoNumaConfig::default()
+        });
+    }
+}

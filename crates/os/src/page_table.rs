@@ -1,0 +1,185 @@
+//! Per-process page tables.
+
+use std::collections::HashMap;
+
+/// Size of a virtual page (matches the frame size).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The state of one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Never touched; no frame assigned.
+    Untouched,
+    /// Resident in a physical frame.
+    Resident {
+        /// Base physical address of the frame.
+        frame: u64,
+    },
+    /// Touched before but currently swapped out to the SSD.
+    SwappedOut,
+}
+
+/// A flat virtual→physical map for one process.
+///
+/// Virtual addresses start at zero and are private per process; the
+/// simulator does not model address-space layout beyond that.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, PageState>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Virtual page number of an address.
+    pub fn vpn(vaddr: u64) -> u64 {
+        vaddr / PAGE_SIZE
+    }
+
+    /// State of the page containing `vaddr`.
+    pub fn state(&self, vaddr: u64) -> PageState {
+        self.entries
+            .get(&Self::vpn(vaddr))
+            .copied()
+            .unwrap_or(PageState::Untouched)
+    }
+
+    /// Translates `vaddr` if its page is resident.
+    pub fn translate(&self, vaddr: u64) -> Option<u64> {
+        match self.state(vaddr) {
+            PageState::Resident { frame } => Some(frame + vaddr % PAGE_SIZE),
+            _ => None,
+        }
+    }
+
+    /// Installs a resident mapping for the page containing `vaddr`.
+    pub fn map(&mut self, vaddr: u64, frame: u64) {
+        self.entries
+            .insert(Self::vpn(vaddr), PageState::Resident { frame });
+    }
+
+    /// Marks the page containing `vaddr` as swapped out, returning its
+    /// former frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn swap_out(&mut self, vaddr: u64) -> u64 {
+        let vpn = Self::vpn(vaddr);
+        match self.entries.insert(vpn, PageState::SwappedOut) {
+            Some(PageState::Resident { frame }) => frame,
+            other => panic!("swap_out of non-resident page {vpn}: {other:?}"),
+        }
+    }
+
+    /// Drops the page containing `vaddr` entirely (back to `Untouched`),
+    /// returning its frame if it was resident. Used for discardable pages
+    /// (buffer cache) whose contents need no swap-out.
+    pub fn unmap(&mut self, vaddr: u64) -> Option<u64> {
+        match self.entries.remove(&Self::vpn(vaddr)) {
+            Some(PageState::Resident { frame }) => Some(frame),
+            _ => None,
+        }
+    }
+
+    /// Removes all mappings, yielding the frames that were resident.
+    pub fn clear(&mut self) -> Vec<u64> {
+        let frames = self
+            .entries
+            .values()
+            .filter_map(|s| match s {
+                PageState::Resident { frame } => Some(*frame),
+                _ => None,
+            })
+            .collect();
+        self.entries.clear();
+        frames
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|s| matches!(s, PageState::Resident { .. }))
+            .count()
+    }
+
+    /// Iterates `(vpn, frame)` for resident pages.
+    pub fn resident_iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().filter_map(|(&vpn, s)| match s {
+            PageState::Resident { frame } => Some((vpn, *frame)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_by_default() {
+        let t = PageTable::new();
+        assert_eq!(t.state(0x123), PageState::Untouched);
+        assert_eq!(t.translate(0x123), None);
+    }
+
+    #[test]
+    fn map_translate_offsets() {
+        let mut t = PageTable::new();
+        t.map(0x2345, 0x8000);
+        assert_eq!(t.translate(0x2345), Some(0x8345));
+        assert_eq!(t.translate(0x2000), Some(0x8000));
+        assert_eq!(t.translate(0x3000), None, "next page unmapped");
+    }
+
+    #[test]
+    fn swap_out_and_back() {
+        let mut t = PageTable::new();
+        t.map(0x1000, 0x4000);
+        assert_eq!(t.swap_out(0x1000), 0x4000);
+        assert_eq!(t.state(0x1000), PageState::SwappedOut);
+        t.map(0x1000, 0x9000);
+        assert_eq!(t.translate(0x1000), Some(0x9000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn swap_out_untouched_panics() {
+        PageTable::new().swap_out(0);
+    }
+
+    #[test]
+    fn clear_returns_resident_frames() {
+        let mut t = PageTable::new();
+        t.map(0, 0x1000);
+        t.map(4096, 0x2000);
+        t.swap_out(4096);
+        let mut frames = t.clear();
+        frames.sort_unstable();
+        assert_eq!(frames, vec![0x1000]);
+        assert_eq!(t.resident_pages(), 0);
+    }
+
+    #[test]
+    fn unmap_drops_to_untouched() {
+        let mut t = PageTable::new();
+        t.map(0x1000, 0x4000);
+        assert_eq!(t.unmap(0x1000), Some(0x4000));
+        assert_eq!(t.state(0x1000), PageState::Untouched);
+        assert_eq!(t.unmap(0x1000), None);
+    }
+
+    #[test]
+    fn resident_iter_lists_mappings() {
+        let mut t = PageTable::new();
+        t.map(0, 0xA000);
+        t.map(8192, 0xB000);
+        let mut pairs: Vec<_> = t.resident_iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0xA000), (2, 0xB000)]);
+    }
+}

@@ -1,0 +1,45 @@
+//! OS-level statistics.
+
+use chameleon_simkit::stats::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Fault, swap and allocation counters for the kernel model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OsStats {
+    /// First-touch (minor) faults: a fresh frame was demand-allocated.
+    pub minor_faults: Counter,
+    /// Major faults: the page had to be read back from the SSD.
+    pub major_faults: Counter,
+    /// Pages written out to the SSD to make room.
+    pub swap_outs: Counter,
+    /// Physical page allocations.
+    pub allocs: Counter,
+    /// Physical page frees.
+    pub frees: Counter,
+    /// Page migrations between nodes (AutoNUMA).
+    pub migrations: Counter,
+    /// Migrations that failed with -ENOMEM (no space on target node).
+    pub migration_enomem: Counter,
+    /// Total CPU cycles spent stalled in page faults.
+    pub fault_stall_cycles: Counter,
+}
+
+impl OsStats {
+    /// Total faults of both kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.minor_faults.value() + self.major_faults.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_faults_sums() {
+        let mut s = OsStats::default();
+        s.minor_faults.add(2);
+        s.major_faults.add(3);
+        assert_eq!(s.total_faults(), 5);
+    }
+}

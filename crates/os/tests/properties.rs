@@ -1,0 +1,91 @@
+//! Property-based tests for the OS substrate.
+
+use chameleon_os::isa::NullHook;
+use chameleon_os::{BuddyAllocator, MemoryMap, OsConfig, OsKernel};
+use chameleon_simkit::mem::ByteSize;
+use proptest::prelude::*;
+
+proptest! {
+    /// The buddy allocator conserves bytes exactly and never hands out
+    /// overlapping frames under any alloc/free interleaving.
+    #[test]
+    fn buddy_conserves_and_never_overlaps(
+        ops in prop::collection::vec((any::<bool>(), 0u8..4), 1..300),
+    ) {
+        let total: u64 = 8 << 20;
+        let mut b = BuddyAllocator::new(0, total).with_scramble(3);
+        let mut live: Vec<(u64, u8)> = Vec::new();
+        for (is_alloc, order) in ops {
+            if is_alloc {
+                if let Some(addr) = b.alloc(order) {
+                    let size = 4096u64 << order;
+                    // No overlap with any live block.
+                    for &(a, o) in &live {
+                        let s = 4096u64 << o;
+                        prop_assert!(
+                            addr + size <= a || a + s <= addr,
+                            "overlap: {addr:#x}+{size} vs {a:#x}+{s}"
+                        );
+                    }
+                    prop_assert_eq!((addr) % size, 0, "alignment");
+                    live.push((addr, order));
+                }
+            } else if let Some((addr, order)) = live.pop() {
+                b.free(addr, order);
+            }
+            let live_bytes: u64 = live.iter().map(|&(_, o)| 4096u64 << o).sum();
+            prop_assert_eq!(b.free_bytes(), total - live_bytes, "conservation");
+        }
+    }
+
+    /// alloc_exact_page always returns exactly the requested frame and
+    /// composes with ordinary alloc/free.
+    #[test]
+    fn buddy_exact_page_composes(
+        targets in prop::collection::vec(0u64..2048, 1..64),
+    ) {
+        let mut b = BuddyAllocator::new(0, 8 << 20);
+        let mut taken = std::collections::HashSet::new();
+        for t in targets {
+            let addr = t * 4096;
+            let ok = b.alloc_exact_page(addr);
+            prop_assert_eq!(ok, taken.insert(addr), "exact alloc iff not already taken");
+        }
+        for &addr in &taken {
+            b.free(addr, 0);
+        }
+        prop_assert_eq!(b.free_bytes(), 8 << 20);
+    }
+
+    /// Demand paging: any touch pattern within the footprint yields
+    /// page-aligned consistent translations, and repeated touches of a
+    /// resident page never fault.
+    #[test]
+    fn paging_translations_are_stable(
+        touches in prop::collection::vec(0u64..(4u64 << 20), 1..200),
+    ) {
+        let mut os = OsKernel::new(
+            OsConfig::default(),
+            MemoryMap::new(ByteSize::mib(2), ByteSize::mib(8)),
+        );
+        let pid = os.spawn(ByteSize::mib(4));
+        let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for v in touches {
+            let t = os.touch(pid, v, false, 0, &mut NullHook).unwrap();
+            prop_assert_eq!(t.paddr % 4096, v % 4096, "offset preserved");
+            let page = v / 4096;
+            match seen.get(&page) {
+                Some(&frame) => prop_assert_eq!(
+                    t.paddr & !4095,
+                    frame,
+                    "resident page keeps its frame"
+                ),
+                None => {
+                    seen.insert(page, t.paddr & !4095);
+                }
+            }
+            // Footprint fits in memory: no page can ever major-fault.
+            prop_assert_ne!(t.fault, Some(chameleon_os::FaultKind::Major));
+        }
+    }
+}

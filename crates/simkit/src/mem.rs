@@ -1,0 +1,137 @@
+//! Byte-size helpers shared by every memory-modelling crate.
+
+use serde::{Deserialize, Serialize};
+
+/// A size in bytes with readable constructors and formatting.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_simkit::mem::ByteSize;
+/// let stacked = ByteSize::gib(4);
+/// assert_eq!(stacked.bytes(), 4 << 30);
+/// assert_eq!(stacked.to_string(), "4.0GiB");
+/// assert_eq!(ByteSize::kib(2) / ByteSize::bytes_exact(64), 32);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Exactly `n` bytes.
+    pub const fn bytes_exact(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        Self(n << 10)
+    }
+
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        Self(n << 20)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        Self(n << 30)
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this size is a power of two.
+    pub const fn is_power_of_two(self) -> bool {
+        self.0.is_power_of_two()
+    }
+
+    /// Integer division by another size (e.g. capacity / segment size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero bytes.
+    pub fn div(self, rhs: ByteSize) -> u64 {
+        assert!(rhs.0 > 0, "division by zero-sized ByteSize");
+        self.0 / rhs.0
+    }
+}
+
+impl std::ops::Div for ByteSize {
+    type Output = u64;
+    fn div(self, rhs: ByteSize) -> u64 {
+        ByteSize::div(self, rhs)
+    }
+}
+
+impl std::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl std::fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0 as f64;
+        if self.0 >= 1 << 30 {
+            write!(f, "{:.1}GiB", b / (1u64 << 30) as f64)
+        } else if self.0 >= 1 << 20 {
+            write!(f, "{:.1}MiB", b / (1u64 << 20) as f64)
+        } else if self.0 >= 1 << 10 {
+            write!(f, "{:.1}KiB", b / (1u64 << 10) as f64)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ByteSize::kib(1).bytes(), 1024);
+        assert_eq!(ByteSize::mib(1).bytes(), 1 << 20);
+        assert_eq!(ByteSize::gib(20).bytes(), 20u64 << 30);
+        assert_eq!(ByteSize::bytes_exact(64).bytes(), 64);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ByteSize::gib(4) + ByteSize::gib(20), ByteSize::gib(24));
+        assert_eq!(ByteSize::kib(2) * 3, ByteSize::bytes_exact(6144));
+        assert_eq!(ByteSize::gib(4) / ByteSize::kib(2), 2 << 20);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::bytes_exact(64).to_string(), "64B");
+        assert_eq!(ByteSize::kib(2).to_string(), "2.0KiB");
+        assert_eq!(ByteSize::mib(512).to_string(), "512.0MiB");
+        assert_eq!(ByteSize::gib(4).to_string(), "4.0GiB");
+    }
+
+    #[test]
+    fn power_of_two() {
+        assert!(ByteSize::kib(2).is_power_of_two());
+        assert!(!ByteSize::bytes_exact(3).is_power_of_two());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = ByteSize::kib(1) / ByteSize::bytes_exact(0);
+    }
+}

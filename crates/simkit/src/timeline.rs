@@ -1,0 +1,145 @@
+//! Time-series sampling for experiment timelines.
+//!
+//! Figure 2c and Figure 3 are timelines; [`Sampler`] collects `(time,
+//! value)` points at a fixed stride so runners don't hand-roll sampling
+//! loops, and offers the summary statistics the paper quotes about its
+//! timelines (peak, final value, time-above-threshold).
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Time coordinate (cycles, minutes, epochs — caller-defined).
+    pub at: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A fixed-stride time-series collector.
+///
+/// # Example
+///
+/// ```
+/// use chameleon_simkit::timeline::Sampler;
+///
+/// let mut s = Sampler::new(10);
+/// for t in 0..35 {
+///     s.offer(t, t as f64);
+/// }
+/// assert_eq!(s.samples().len(), 4); // t = 0, 10, 20, 30
+/// assert_eq!(s.peak().unwrap().value, 30.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sampler {
+    stride: u64,
+    next_at: u64,
+    samples: Vec<Sample>,
+}
+
+impl Sampler {
+    /// Creates a sampler that keeps one sample every `stride` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: u64) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        Self {
+            stride,
+            next_at: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers an observation; it is kept if the stride boundary passed.
+    pub fn offer(&mut self, at: u64, value: f64) {
+        if at >= self.next_at {
+            self.samples.push(Sample { at, value });
+            self.next_at = at + self.stride;
+        }
+    }
+
+    /// Forces a sample regardless of stride (e.g. the final point).
+    pub fn force(&mut self, at: u64, value: f64) {
+        self.samples.push(Sample { at, value });
+        self.next_at = at + self.stride;
+    }
+
+    /// The collected samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The sample with the largest value.
+    pub fn peak(&self) -> Option<Sample> {
+        self.samples
+            .iter()
+            .copied()
+            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"))
+    }
+
+    /// The last sample.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Fraction of samples with `value < threshold` (Figure 3's pressure
+    /// regions).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.value < threshold).count() as f64
+            / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_one_per_stride() {
+        let mut s = Sampler::new(5);
+        for t in 0..20 {
+            s.offer(t, 1.0);
+        }
+        let ats: Vec<u64> = s.samples().iter().map(|x| x.at).collect();
+        assert_eq!(ats, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn force_always_records() {
+        let mut s = Sampler::new(100);
+        s.offer(0, 1.0);
+        s.offer(1, 2.0); // dropped
+        s.force(2, 3.0);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.last().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn peak_and_fraction() {
+        let mut s = Sampler::new(1);
+        for (t, v) in [(0, 5.0), (1, 9.0), (2, 1.0), (3, 2.0)] {
+            s.offer(t, v);
+        }
+        assert_eq!(s.peak().unwrap().value, 9.0);
+        assert_eq!(s.fraction_below(3.0), 0.5);
+    }
+
+    #[test]
+    fn empty_sampler_is_sane() {
+        let s = Sampler::new(1);
+        assert!(s.peak().is_none());
+        assert!(s.last().is_none());
+        assert_eq!(s.fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        Sampler::new(0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-programmed workload composition beyond rate mode.
+//!
+//! The paper's main figures use rate mode (12 copies of one application),
+//! but its motivation (Figure 3, datacenter scheduling) is about *mixes*.
+//! [`WorkloadMix`] assigns a (possibly different) application to each
+//! core, with helpers for the compositions a study typically wants:
+//! rate mode, paired mixes, and intensity-balanced mixes.
+
+use chameleon_simkit::rng::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+use crate::AppSpec;
+
+/// A named assignment of applications to cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Display name ("rate:mcf", "mix:mcf+miniFE", ...).
+    pub name: String,
+    /// One application per core.
+    pub apps: Vec<AppSpec>,
+}
+
+impl WorkloadMix {
+    /// Rate mode: `cores` copies of one application (the paper's setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application is unknown or `cores` is zero.
+    pub fn rate(app: &str, cores: usize) -> Self {
+        assert!(cores > 0, "at least one core");
+        let spec = AppSpec::by_name(app).unwrap_or_else(|| panic!("unknown application {app:?}"));
+        Self {
+            name: format!("rate:{}", spec.name),
+            apps: vec![spec; cores],
+        }
+    }
+
+    /// A half-and-half mix of two applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either application is unknown or `cores` is zero.
+    pub fn pair(a: &str, b: &str, cores: usize) -> Self {
+        assert!(cores > 0, "at least one core");
+        let sa = AppSpec::by_name(a).unwrap_or_else(|| panic!("unknown application {a:?}"));
+        let sb = AppSpec::by_name(b).unwrap_or_else(|| panic!("unknown application {b:?}"));
+        let apps = (0..cores)
+            .map(|i| if i % 2 == 0 { sa.clone() } else { sb.clone() })
+            .collect();
+        Self {
+            name: format!("mix:{}+{}", sa.name, sb.name),
+            apps,
+        }
+    }
+
+    /// A random draw of Table II applications, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn random(cores: usize, seed: u64) -> Self {
+        assert!(cores > 0, "at least one core");
+        let table = AppSpec::table2();
+        let mut rng = DeterministicRng::seed(seed ^ 0x3A1D);
+        let apps: Vec<AppSpec> = (0..cores)
+            .map(|_| table[rng.below(table.len() as u64) as usize].clone())
+            .collect();
+        Self {
+            name: format!("random:{seed}"),
+            apps,
+        }
+    }
+
+    /// An intensity-balanced mix: alternates the most and least
+    /// memory-intensive Table II applications so the memory system sees
+    /// both demanding and quiet neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn balanced(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core");
+        let mut table = AppSpec::table2();
+        table.sort_by(|a, b| b.llc_mpki.partial_cmp(&a.llc_mpki).expect("finite"));
+        let apps: Vec<AppSpec> = (0..cores)
+            .map(|i| {
+                if i % 2 == 0 {
+                    table[(i / 2) % table.len()].clone()
+                } else {
+                    table[table.len() - 1 - (i / 2) % table.len()].clone()
+                }
+            })
+            .collect();
+        Self {
+            name: "balanced".to_owned(),
+            apps,
+        }
+    }
+
+    /// Number of cores the mix covers.
+    pub fn cores(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Scales every application's footprint by `factor`.
+    pub fn scaled(&self, factor: u64) -> Self {
+        Self {
+            name: self.name.clone(),
+            apps: self.apps.iter().map(|a| a.scaled(factor)).collect(),
+        }
+    }
+
+    /// Total footprint across the mix (each core runs one copy).
+    pub fn total_footprint_bytes(&self) -> u64 {
+        self.apps
+            .iter()
+            .map(|a| a.per_copy_footprint().bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_mode_replicates() {
+        let m = WorkloadMix::rate("mcf", 12);
+        assert_eq!(m.cores(), 12);
+        assert!(m.apps.iter().all(|a| a.name == "mcf"));
+        assert_eq!(m.name, "rate:mcf");
+    }
+
+    #[test]
+    fn pair_alternates() {
+        let m = WorkloadMix::pair("mcf", "miniFE", 4);
+        assert_eq!(m.apps[0].name, "mcf");
+        assert_eq!(m.apps[1].name, "miniFE");
+        assert_eq!(m.apps[2].name, "mcf");
+        assert_eq!(m.name, "mix:mcf+miniFE");
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = WorkloadMix::random(12, 5);
+        let b = WorkloadMix::random(12, 5);
+        assert_eq!(a, b);
+        let c = WorkloadMix::random(12, 6);
+        assert_ne!(a.apps.iter().map(|x| &x.name).collect::<Vec<_>>(),
+                   c.apps.iter().map(|x| &x.name).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn balanced_interleaves_intensities() {
+        let m = WorkloadMix::balanced(4);
+        // Even slots are the hottest apps, odd slots the coolest.
+        assert!(m.apps[0].llc_mpki > m.apps[1].llc_mpki);
+        assert_eq!(m.apps[0].name, "mcf");
+        assert_eq!(m.apps[1].name, "miniGhost");
+    }
+
+    #[test]
+    fn scaled_propagates() {
+        let m = WorkloadMix::rate("stream", 2).scaled(64);
+        let full = AppSpec::by_name("stream").unwrap();
+        assert!(m.total_footprint_bytes() < full.workload_footprint.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        WorkloadMix::rate("doom", 2);
+    }
+}

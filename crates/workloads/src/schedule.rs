@@ -1,0 +1,228 @@
+//! The datacenter workload sequence of Figure 3.
+//!
+//! The paper ran the Table II workloads sequentially on a 24GB machine
+//! for 53.8 hours, sampling free memory every two minutes with `numastat`.
+//! [`DatacenterSchedule`] reproduces that arrival/departure pattern:
+//! each job allocates its rate-mode footprint over a ramp-up phase, holds
+//! it, then frees everything, producing the sawtooth free-space timeline
+//! of Figure 3 whose low-free regions (①–⑤) motivate dynamic
+//! reconfiguration.
+
+use chameleon_simkit::mem::ByteSize;
+use serde::{Deserialize, Serialize};
+
+use crate::AppSpec;
+
+/// One job in the sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Application run in rate mode.
+    pub app: String,
+    /// Total footprint of the 12 copies.
+    pub footprint: ByteSize,
+    /// Time the job occupies the machine, in minutes.
+    pub duration_min: u64,
+}
+
+/// One sample of the free-space timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreeSample {
+    /// Minutes since the start of the sequence.
+    pub minute: u64,
+    /// Free bytes at that time.
+    pub free: u64,
+}
+
+/// The Figure 3 job sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterSchedule {
+    jobs: Vec<Job>,
+    /// Minutes a job spends ramping its allocation up (and down).
+    ramp_min: u64,
+    /// Idle minutes between consecutive jobs.
+    idle_min: u64,
+}
+
+impl DatacenterSchedule {
+    /// The paper's sequence: the twelve applications of Figure 4's x-axis
+    /// run one after the other, with durations spread so the sequence
+    /// spans roughly the paper's 53.8 hours.
+    pub fn figure3() -> Self {
+        let order = [
+            ("bwaves", 270),
+            ("leslie3d", 260),
+            ("GemsFDTD", 280),
+            ("lbm", 250),
+            ("mcf", 310),
+            ("hpccg", 260),
+            ("SP", 240),
+            ("stream", 250),
+            ("cloverleaf", 290),
+            ("comd", 260),
+            ("miniFE", 250),
+            ("cactusADM", 300),
+        ];
+        let jobs = order
+            .iter()
+            .map(|&(name, duration_min)| {
+                let spec = AppSpec::by_name(name).expect("figure 3 app exists in Table II");
+                Job {
+                    app: spec.name.clone(),
+                    footprint: spec.workload_footprint,
+                    duration_min,
+                }
+            })
+            .collect();
+        Self {
+            jobs,
+            ramp_min: 20,
+            idle_min: 6,
+        }
+    }
+
+    /// A scaled copy (footprints divided by `factor`).
+    pub fn scaled(&self, factor: u64) -> Self {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| Job {
+                app: j.app.clone(),
+                footprint: ByteSize::bytes_exact(j.footprint.bytes() / factor),
+                duration_min: j.duration_min,
+            })
+            .collect();
+        Self {
+            jobs,
+            ..self.clone()
+        }
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Total schedule length in minutes.
+    pub fn total_minutes(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.duration_min + self.idle_min)
+            .sum()
+    }
+
+    /// Free memory over time on a machine with `capacity` bytes, sampled
+    /// every `step_min` minutes (the paper samples every 2 minutes).
+    ///
+    /// A job's resident set ramps linearly over `ramp_min` minutes at the
+    /// start, stays at `min(footprint, capacity)` (over-subscribed jobs
+    /// page against the SSD), and drops to zero when the job exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_min` is zero.
+    pub fn free_space_timeline(&self, capacity: ByteSize, step_min: u64) -> Vec<FreeSample> {
+        assert!(step_min > 0, "sample step must be non-zero");
+        let cap = capacity.bytes();
+        let mut samples = Vec::new();
+        let mut start = 0u64;
+        let mut spans = Vec::new(); // (start, end, footprint)
+        for j in &self.jobs {
+            spans.push((start, start + j.duration_min, j.footprint.bytes()));
+            start += j.duration_min + self.idle_min;
+        }
+        let total = self.total_minutes();
+        let mut minute = 0;
+        while minute <= total {
+            let mut used = 0u64;
+            for &(s, e, fp) in &spans {
+                if minute >= s && minute < e {
+                    let ramped = if minute - s < self.ramp_min {
+                        fp * (minute - s + 1) / self.ramp_min
+                    } else if e - minute <= self.ramp_min / 2 {
+                        // Tear-down begins shortly before exit.
+                        fp * (e - minute) / (self.ramp_min / 2).max(1)
+                    } else {
+                        fp
+                    };
+                    used += ramped;
+                }
+            }
+            // The OS keeps a small reserve; an over-subscribed job pages
+            // against the SSD with nearly zero free memory.
+            let reserve = cap / 100;
+            let free = cap.saturating_sub(used).max(reserve);
+            samples.push(FreeSample { minute, free });
+            minute += step_min;
+        }
+        samples
+    }
+
+    /// Minutes during which free memory is below `threshold` — the
+    /// capacity-pressure regions ①–⑤ the paper marks on Figure 3.
+    pub fn pressure_minutes(&self, capacity: ByteSize, threshold: ByteSize) -> u64 {
+        self.free_space_timeline(capacity, 1)
+            .iter()
+            .filter(|s| s.free < threshold.bytes())
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_spans_two_days() {
+        let s = DatacenterSchedule::figure3();
+        assert_eq!(s.jobs().len(), 12);
+        let hours = s.total_minutes() as f64 / 60.0;
+        assert!(
+            (50.0..60.0).contains(&hours),
+            "sequence spans {hours} hours; paper ran 53.8"
+        );
+    }
+
+    #[test]
+    fn timeline_shows_sawtooth() {
+        let s = DatacenterSchedule::figure3();
+        let cap = ByteSize::gib(24);
+        let timeline = s.free_space_timeline(cap, 2);
+        let max = timeline.iter().map(|p| p.free).max().unwrap();
+        let min = timeline.iter().map(|p| p.free).min().unwrap();
+        assert!(max > cap.bytes() * 9 / 10, "idle gaps show near-full free");
+        assert!(min < cap.bytes() / 10, "big jobs squeeze free space");
+    }
+
+    #[test]
+    fn oversubscribed_jobs_clamp_to_reserve() {
+        let s = DatacenterSchedule::figure3();
+        // On a 16GB machine the ~20GB jobs leave only the reserve free.
+        let timeline = s.free_space_timeline(ByteSize::gib(16), 2);
+        let reserve = ByteSize::gib(16).bytes() / 100;
+        assert!(timeline.iter().any(|p| p.free == reserve));
+        assert!(timeline.iter().all(|p| p.free >= reserve));
+    }
+
+    #[test]
+    fn pressure_regions_exist_at_24gb() {
+        let s = DatacenterSchedule::figure3();
+        let pressured = s.pressure_minutes(ByteSize::gib(24), ByteSize::gib(2));
+        assert!(pressured > 0, "the paper marks several <2GB-free regions");
+        let relaxed = s.pressure_minutes(ByteSize::gib(24), ByteSize::gib(6));
+        assert!(relaxed > pressured, "more minutes fall under a looser threshold");
+    }
+
+    #[test]
+    fn scaled_schedule_shrinks_footprints() {
+        let s = DatacenterSchedule::figure3().scaled(64);
+        for (a, b) in s.jobs().iter().zip(DatacenterSchedule::figure3().jobs()) {
+            assert_eq!(a.footprint.bytes(), b.footprint.bytes() / 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample step")]
+    fn zero_step_rejected() {
+        DatacenterSchedule::figure3().free_space_timeline(ByteSize::gib(24), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Instruction-trace recording and replay.
+//!
+//! GEM5 methodology often snapshots a region of interest and replays it;
+//! this module gives the synthetic generators the same property: any
+//! [`InstructionStream`] can be recorded to a compact binary trace file
+//! and replayed later (or on another machine) with byte-exact fidelity.
+//!
+//! Format: a 16-byte header (`magic`, `version`, op count) followed by
+//! one 9-byte record per operation (`tag` byte + little-endian `u64`
+//! payload: compute count, load address or store address).
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use chameleon_cpu::{InstructionStream, Op};
+
+const MAGIC: &[u8; 7] = b"CHAMTRC";
+const VERSION: u8 = 1;
+
+const TAG_COMPUTE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+
+/// Records a stream to a writer; returns the number of operations.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn record<S: InstructionStream, W: Write>(stream: &mut S, mut w: W) -> io::Result<u64> {
+    let mut ops: Vec<Op> = Vec::new();
+    while let Some(op) = stream.next_op() {
+        ops.push(op);
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(ops.len() as u64).to_le_bytes())?;
+    for op in &ops {
+        let (tag, payload) = match op {
+            Op::Compute(n) => (TAG_COMPUTE, *n as u64),
+            Op::Load(a) => (TAG_LOAD, *a),
+            Op::Store(a) => (TAG_STORE, *a),
+        };
+        w.write_all(&[tag])?;
+        w.write_all(&payload.to_le_bytes())?;
+    }
+    Ok(ops.len() as u64)
+}
+
+/// Records a stream to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn record_to_file<S: InstructionStream>(stream: &mut S, path: &Path) -> io::Result<u64> {
+    let file = std::fs::File::create(path)?;
+    record(stream, io::BufWriter::new(file))
+}
+
+/// A replayable trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Parses a trace from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a corrupt or mismatched trace, plus any
+    /// underlying I/O error.
+    pub fn read<R: Read>(mut r: R) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+        let mut header = [0u8; 16];
+        r.read_exact(&mut header)?;
+        if &header[..7] != MAGIC {
+            return Err(bad("not a chameleon trace"));
+        }
+        if header[7] != VERSION {
+            return Err(bad("unsupported trace version"));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let mut ops = Vec::with_capacity(count as usize);
+        let mut rec = [0u8; 9];
+        for _ in 0..count {
+            r.read_exact(&mut rec)?;
+            let payload = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
+            ops.push(match rec[0] {
+                TAG_COMPUTE => {
+                    if payload > u32::MAX as u64 {
+                        return Err(bad("compute count overflows u32"));
+                    }
+                    Op::Compute(payload as u32)
+                }
+                TAG_LOAD => Op::Load(payload),
+                TAG_STORE => Op::Store(payload),
+                _ => return Err(bad("unknown op tag")),
+            });
+        }
+        Ok(Self { ops })
+    }
+
+    /// Loads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors.
+    pub fn read_from_file(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::read(io::BufReader::new(file))
+    }
+
+    /// Number of operations in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total retired instructions the trace represents.
+    pub fn instructions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(n) => *n as u64,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// A replay cursor over the trace.
+    pub fn replay(&self) -> TraceStream<'_> {
+        TraceStream {
+            ops: &self.ops,
+            pos: 0,
+        }
+    }
+}
+
+/// An [`InstructionStream`] replaying a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceStream<'a> {
+    ops: &'a [Op],
+    pos: usize,
+}
+
+impl InstructionStream for TraceStream<'_> {
+    fn next_op(&mut self) -> Option<Op> {
+        let op = self.ops.get(self.pos).copied();
+        self.pos += 1;
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppSpec, AppStream};
+
+    fn sample_stream() -> AppStream {
+        let spec = AppSpec::by_name("mcf").expect("table2 app").scaled(64);
+        AppStream::new(&spec, 5_000, 99)
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mut buf = Vec::new();
+        let n = record(&mut sample_stream(), &mut buf).expect("record");
+        assert!(n > 0);
+        let trace = Trace::read(&buf[..]).expect("parse");
+        assert_eq!(trace.len() as u64, n);
+        assert_eq!(trace.instructions(), 5_000);
+
+        // Replaying equals regenerating.
+        let mut regenerated = sample_stream();
+        let mut replay = trace.replay();
+        loop {
+            match (regenerated.next_op(), replay.next_op()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("chameleon_trace_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mcf.trace");
+        record_to_file(&mut sample_stream(), &path).expect("write");
+        let trace = Trace::read_from_file(&path).expect("read");
+        assert_eq!(trace.instructions(), 5_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut buf = Vec::new();
+        record(&mut sample_stream(), &mut buf).expect("record");
+        buf[0] = b'X';
+        assert!(Trace::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let mut buf = Vec::new();
+        record(&mut sample_stream(), &mut buf).expect("record");
+        buf.truncate(buf.len() - 3);
+        assert!(Trace::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        record(&mut sample_stream(), &mut buf).expect("record");
+        buf[7] = 99;
+        assert!(Trace::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        struct Empty;
+        impl InstructionStream for Empty {
+            fn next_op(&mut self) -> Option<Op> {
+                None
+            }
+        }
+        let mut buf = Vec::new();
+        record(&mut Empty, &mut buf).expect("record");
+        let t = Trace::read(&buf[..]).expect("parse");
+        assert!(t.is_empty());
+        assert_eq!(t.replay().next_op(), None);
+    }
+}

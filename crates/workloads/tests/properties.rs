@@ -1,0 +1,80 @@
+//! Property-based tests for the workload models.
+
+use chameleon_cpu::{InstructionStream, Op};
+use chameleon_workloads::{AppSpec, AppStream};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = AppSpec> {
+    prop::sample::select(AppSpec::table2())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator emits exactly its instruction budget, stays inside
+    /// its footprint, and is deterministic per seed — for every Table II
+    /// application and arbitrary budgets/seeds.
+    #[test]
+    fn stream_budget_bounds_and_determinism(
+        app in any_app(),
+        budget in 100u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let spec = app.scaled(64);
+        let fp = spec.per_copy_footprint().bytes();
+        let drain = |mut s: AppStream| {
+            let mut instr = 0u64;
+            let mut sig = 0u64;
+            while let Some(op) = s.next_op() {
+                match op {
+                    Op::Compute(n) => instr += n as u64,
+                    Op::Load(a) | Op::Store(a) => {
+                        prop_assert!(a < fp, "address {a:#x} outside footprint {fp:#x}");
+                        instr += 1;
+                        sig = sig.wrapping_mul(31).wrapping_add(a);
+                    }
+                }
+            }
+            Ok((instr, sig))
+        };
+        let (i1, s1) = drain(AppStream::new(&spec, budget, seed))?;
+        let (i2, s2) = drain(AppStream::new(&spec, budget, seed))?;
+        prop_assert_eq!(i1, budget);
+        prop_assert_eq!(i2, budget);
+        prop_assert_eq!(s1, s2, "same seed, same stream");
+    }
+
+    /// Memory intensity tracks the spec within tolerance for any seed.
+    #[test]
+    fn intensity_calibration_holds(app in any_app(), seed in any::<u64>()) {
+        let spec = app.scaled(64);
+        let mut s = AppStream::new(&spec, 100_000, seed);
+        let (mut instr, mut mem) = (0u64, 0u64);
+        while let Some(op) = s.next_op() {
+            match op {
+                Op::Compute(n) => instr += n as u64,
+                _ => {
+                    instr += 1;
+                    mem += 1;
+                }
+            }
+        }
+        let per_kilo = mem as f64 * 1000.0 / instr as f64;
+        let target = spec.mem_per_kilo as f64;
+        prop_assert!(
+            (per_kilo - target).abs() / target < 0.10,
+            "{}: {per_kilo} vs {target}",
+            spec.name
+        );
+    }
+
+    /// Scaling footprints preserves every calibration knob.
+    #[test]
+    fn scaling_preserves_knobs(app in any_app(), factor in 1u64..512) {
+        let scaled = app.scaled(factor);
+        prop_assert_eq!(scaled.llc_mpki, app.llc_mpki);
+        prop_assert_eq!(scaled.mem_per_kilo, app.mem_per_kilo);
+        prop_assert_eq!(scaled.stream_fraction, app.stream_fraction);
+        prop_assert!(scaled.workload_footprint.bytes() <= app.workload_footprint.bytes());
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a Chameleon-Opt system, run one rate-mode workload
+//! and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chameleon::{Architecture, ScaledParams, System};
+
+fn main() {
+    let params = ScaledParams::laptop();
+    println!(
+        "system: {} cores, {} stacked + {} off-chip, {} segments",
+        params.cores,
+        params.hma.stacked.capacity,
+        params.hma.offchip.capacity,
+        params.hma.segment
+    );
+
+    for arch in [
+        Architecture::Pom,
+        Architecture::Chameleon,
+        Architecture::ChameleonOpt,
+    ] {
+        let start = std::time::Instant::now();
+        let mut system = System::new(arch, &params);
+        let streams = system
+            .spawn_rate_workload("bwaves", 300_000, 42)
+            .expect("bwaves is a Table II application");
+        system.prefault_all().expect("prefault");
+        system.reset_measurement();
+        let report = system.run(streams);
+        println!(
+            "{:14} ipc={:.3} hit={:5.1}% amat={:6.1} swaps={:6} cache-groups={:5.1}% wall={:?}",
+            report.arch,
+            report.run.geomean_ipc(),
+            report.stacked_hit_rate * 100.0,
+            report.amat,
+            report.effective_swaps,
+            report.mode.cache_fraction() * 100.0,
+            start.elapsed()
+        );
+    }
+}

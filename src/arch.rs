@@ -1,0 +1,206 @@
+//! Architecture selection: which memory organisation a [`crate::System`]
+//! simulates.
+
+use chameleon_core::{
+    policy::HmaPolicy, AlloyPolicy, ChameleonPolicy, FlatPolicy, HmaConfig, PolymorphicPolicy,
+    PomPolicy, StaticNumaPolicy,
+};
+use chameleon_os::numa::AutoNumaConfig;
+use chameleon_os::{MemoryMap, NodePreference, Visibility};
+use chameleon_simkit::mem::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Every memory organisation the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Off-chip DDR only, at the heterogeneous system's off-chip capacity
+    /// (Figure 18's `baseline_20GB_DDR3`).
+    FlatSmall,
+    /// Off-chip DDR only, at the heterogeneous system's *total* capacity
+    /// (Figure 18's `baseline_24GB_DDR3`).
+    FlatLarge,
+    /// Latency-optimised direct-mapped DRAM cache (Alloy).
+    Alloy,
+    /// Hardware-managed PoM baseline (Sim et al.).
+    Pom,
+    /// CAMEO-style PoM with 64-byte segments.
+    Cameo,
+    /// Basic Chameleon.
+    Chameleon,
+    /// Chameleon-Opt.
+    ChameleonOpt,
+    /// Polymorphic Memory (Chung et al.).
+    Polymorphic,
+    /// OS-managed NUMA with the first-touch allocator (Figure 2a).
+    NumaFirstTouch,
+    /// OS-managed NUMA with AutoNUMA balancing at the given
+    /// `numa_period_threshold` (Figures 2b/2c/20).
+    AutoNuma {
+        /// Threshold as a percentage (70, 80 or 90 in the paper).
+        threshold_pct: u8,
+    },
+}
+
+impl Architecture {
+    /// All architectures Figure 18 compares.
+    pub fn figure18() -> Vec<Architecture> {
+        vec![
+            Architecture::FlatSmall,
+            Architecture::FlatLarge,
+            Architecture::Alloy,
+            Architecture::Pom,
+            Architecture::Chameleon,
+            Architecture::ChameleonOpt,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Architecture::FlatSmall => "baseline_small_DDR (no stacked DRAM)".to_owned(),
+            Architecture::FlatLarge => "baseline_large_DDR (no stacked DRAM)".to_owned(),
+            Architecture::Alloy => "Alloy-Cache".to_owned(),
+            Architecture::Pom => "PoM".to_owned(),
+            Architecture::Cameo => "CAMEO".to_owned(),
+            Architecture::Chameleon => "Chameleon".to_owned(),
+            Architecture::ChameleonOpt => "Chameleon-Opt".to_owned(),
+            Architecture::Polymorphic => "Polymorphic_memory".to_owned(),
+            Architecture::NumaFirstTouch => "numaAware_allocator".to_owned(),
+            Architecture::AutoNuma { threshold_pct } => {
+                format!("autoNUMA_{threshold_pct}percent")
+            }
+        }
+    }
+
+    /// Whether the OS sees the stacked DRAM as allocatable memory.
+    pub fn visibility(&self) -> Visibility {
+        match self {
+            Architecture::FlatSmall | Architecture::FlatLarge | Architecture::Alloy => {
+                Visibility::OffchipOnly
+            }
+            _ => Visibility::Both,
+        }
+    }
+
+    /// The OS allocation preference this organisation implies.
+    pub fn preference(&self) -> NodePreference {
+        match self {
+            // The first-touch allocator puts data in the fast node until
+            // it runs out (Section III-A1).
+            Architecture::NumaFirstTouch => NodePreference::FastFirst,
+            // AutoNUMA keeps the fast node as migration headroom: data
+            // lands off-chip and hot pages are pulled in per epoch
+            // (Section III-A2's timeline starts with an empty fast node).
+            Architecture::AutoNuma { .. } => NodePreference::SlowFirst,
+            // Hardware-managed systems see churned, spread allocations.
+            _ => NodePreference::Balanced,
+        }
+    }
+
+    /// The physical memory map the OS manages for this organisation.
+    pub fn memory_map(&self, hma: &HmaConfig) -> MemoryMap {
+        match self {
+            // FlatLarge folds the stacked capacity into off-chip DDR.
+            Architecture::FlatLarge => MemoryMap::new(
+                hma.stacked.capacity,
+                ByteSize::bytes_exact(hma.offchip.capacity.bytes() + hma.stacked.capacity.bytes()),
+            ),
+            _ => MemoryMap::new(hma.stacked.capacity, hma.offchip.capacity),
+        }
+    }
+
+    /// Builds the hardware policy.
+    pub fn build_policy(&self, hma: &HmaConfig) -> Box<dyn HmaPolicy> {
+        match self {
+            Architecture::FlatSmall => {
+                Box::new(FlatPolicy::new(hma.clone(), hma.offchip.capacity))
+            }
+            Architecture::FlatLarge => Box::new(FlatPolicy::new(
+                hma.clone(),
+                ByteSize::bytes_exact(hma.offchip.capacity.bytes() + hma.stacked.capacity.bytes()),
+            )),
+            Architecture::Alloy => Box::new(AlloyPolicy::new(hma.clone())),
+            Architecture::Pom => Box::new(PomPolicy::new(hma.clone())),
+            Architecture::Cameo => Box::new(PomPolicy::new_cameo(hma.clone())),
+            Architecture::Chameleon => Box::new(ChameleonPolicy::new_basic(hma.clone())),
+            Architecture::ChameleonOpt => Box::new(ChameleonPolicy::new_opt(hma.clone())),
+            Architecture::Polymorphic => Box::new(PolymorphicPolicy::new(hma.clone())),
+            Architecture::NumaFirstTouch | Architecture::AutoNuma { .. } => {
+                Box::new(StaticNumaPolicy::new(hma.clone()))
+            }
+        }
+    }
+
+    /// AutoNUMA balancing configuration, when this organisation uses it.
+    pub fn autonuma(&self) -> Option<AutoNumaConfig> {
+        match self {
+            Architecture::AutoNuma { threshold_pct } => Some(AutoNumaConfig {
+                threshold: *threshold_pct as f64 / 100.0,
+                ..AutoNumaConfig::default()
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::HmaConfig;
+
+    #[test]
+    fn visibility_split() {
+        assert_eq!(Architecture::Alloy.visibility(), Visibility::OffchipOnly);
+        assert_eq!(Architecture::Pom.visibility(), Visibility::Both);
+        assert_eq!(Architecture::ChameleonOpt.visibility(), Visibility::Both);
+    }
+
+    #[test]
+    fn flat_large_gets_total_capacity() {
+        let hma = HmaConfig::scaled_laptop();
+        let map = Architecture::FlatLarge.memory_map(&hma);
+        assert_eq!(map.offchip().bytes(), (320 + 64) << 20);
+        let map_small = Architecture::FlatSmall.memory_map(&hma);
+        assert_eq!(map_small.offchip().bytes(), 320 << 20);
+    }
+
+    #[test]
+    fn policies_build_with_right_names() {
+        let hma = HmaConfig::scaled_laptop();
+        for (arch, name) in [
+            (Architecture::Alloy, "Alloy-Cache"),
+            (Architecture::Pom, "PoM"),
+            (Architecture::Cameo, "CAMEO"),
+            (Architecture::Chameleon, "Chameleon"),
+            (Architecture::ChameleonOpt, "Chameleon-Opt"),
+            (Architecture::Polymorphic, "Polymorphic"),
+            (Architecture::NumaFirstTouch, "Static-NUMA"),
+        ] {
+            assert_eq!(arch.build_policy(&hma).name(), name, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn autonuma_threshold_parsed() {
+        let cfg = Architecture::AutoNuma { threshold_pct: 90 }.autonuma().unwrap();
+        assert!((cfg.threshold - 0.9).abs() < 1e-12);
+        assert!(Architecture::Pom.autonuma().is_none());
+    }
+
+    #[test]
+    fn figure18_lineup() {
+        let archs = Architecture::figure18();
+        assert_eq!(archs.len(), 6);
+        assert_eq!(archs[0], Architecture::FlatSmall);
+        assert_eq!(archs[5], Architecture::ChameleonOpt);
+    }
+
+    #[test]
+    fn labels_match_paper_spellings() {
+        assert_eq!(
+            Architecture::AutoNuma { threshold_pct: 80 }.label(),
+            "autoNUMA_80percent"
+        );
+        assert_eq!(Architecture::Cameo.label(), "CAMEO");
+    }
+}

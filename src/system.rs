@@ -1,0 +1,524 @@
+//! The full simulated system: cores → caches → OS translation →
+//! heterogeneous memory architecture.
+
+use chameleon_cache::{Hierarchy, HitLevel};
+use chameleon_core::policy::{HmaPolicy, ModeDistribution};
+use chameleon_cpu::{MemorySystem, MultiCore, Reply, RunReport};
+use chameleon_os::numa::{AutoNuma, EpochReport};
+use chameleon_os::{OsConfig, OsError, OsKernel, Pid};
+use chameleon_workloads::{AppSpec, AppStream, WorkloadMix};
+use serde::{Deserialize, Serialize};
+
+use crate::{Architecture, ScaledParams};
+
+/// Everything one run produces, in the units the paper reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Architecture label (paper legend spelling).
+    pub arch: String,
+    /// Workload name.
+    pub workload: String,
+    /// Per-core CPU results.
+    pub run: RunReport,
+    /// Stacked-DRAM hit rate (Figure 15 / Figure 2).
+    pub stacked_hit_rate: f64,
+    /// Average memory access latency in CPU cycles (Figure 19).
+    pub amat: f64,
+    /// Demand-driven segment swaps (Figure 17).
+    pub swaps: u64,
+    /// Swaps plus cache-mode dirty evictions (the paper's Figure 17
+    /// accounting).
+    pub effective_swaps: u64,
+    /// Swaps triggered by ISA-Alloc/ISA-Free (Section VI-F).
+    pub isa_swaps: u64,
+    /// Per-segment ISA-Alloc invocations processed.
+    pub isa_allocs: u64,
+    /// Per-segment ISA-Free invocations processed.
+    pub isa_frees: u64,
+    /// Cache/PoM segment-group census at the end of the run (Figure 16).
+    pub mode: ModeDistribution,
+    /// OS major (SSD) faults during the run (Figure 5).
+    pub major_faults: u64,
+    /// OS minor (first-touch) faults during the run.
+    pub minor_faults: u64,
+    /// LLC misses per kilo-instruction (Table II).
+    pub llc_mpki: f64,
+}
+
+/// A complete simulated machine for one architecture.
+///
+/// See the crate-level docs for a usage example.
+pub struct System {
+    arch: Architecture,
+    params: ScaledParams,
+    os: OsKernel,
+    hierarchy: Hierarchy,
+    policy: Box<dyn HmaPolicy>,
+    pids: Vec<Pid>,
+    autonuma: Option<AutoNuma>,
+    epoch_accesses: u64,
+    accesses_since_epoch: u64,
+    workload: String,
+}
+
+impl System {
+    /// Builds a system of the given architecture.
+    pub fn new(arch: Architecture, params: &ScaledParams) -> Self {
+        let group_placement = (params.group_aware_placement
+            && arch.visibility() == chameleon_os::Visibility::Both)
+            .then(|| {
+                let hma = &params.hma;
+                chameleon_os::ledger::LedgerConfig {
+                    segment_bytes: hma.segment.bytes(),
+                    stacked_segments: hma.stacked.capacity.bytes() / hma.segment.bytes(),
+                    stacked_bytes: hma.stacked.capacity.bytes(),
+                    slots_per_group: (hma.offchip.capacity.bytes()
+                        / hma.stacked.capacity.bytes()
+                        + 1) as u8,
+                }
+            });
+        let os_cfg = OsConfig {
+            visibility: arch.visibility(),
+            preference: arch.preference(),
+            group_placement,
+            ..OsConfig::default()
+        };
+        let os = OsKernel::new(os_cfg, arch.memory_map(&params.hma));
+        let mut hierarchy = Hierarchy::new(
+            params.cores,
+            params.l1.clone(),
+            params.l2.clone(),
+            params.l3.clone(),
+        );
+        if let Some(pf) = params.prefetcher {
+            hierarchy = hierarchy.with_prefetcher(pf);
+        }
+        let policy = arch.build_policy(&params.hma);
+        let autonuma = arch.autonuma().map(AutoNuma::new);
+        Self {
+            arch,
+            params: params.clone(),
+            os,
+            hierarchy,
+            policy,
+            pids: Vec::new(),
+            autonuma,
+            epoch_accesses: 20_000,
+            accesses_since_epoch: 0,
+            workload: String::new(),
+        }
+    }
+
+    /// The architecture being simulated.
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// The OS kernel (free-space telemetry, fault counters).
+    pub fn os(&self) -> &OsKernel {
+        &self.os
+    }
+
+    /// The hardware policy (hit rates, swap counters).
+    pub fn policy(&self) -> &dyn HmaPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The cache hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// AutoNUMA epoch reports, when the architecture balances
+    /// (Figure 2c's timeline).
+    pub fn numa_reports(&self) -> &[EpochReport] {
+        self.autonuma.as_ref().map(|n| n.reports()).unwrap_or(&[])
+    }
+
+    /// Sets the AutoNUMA scan-epoch length in LLC misses (the paper's
+    /// `numa_balancing_scan_period`, which it expresses as 10M processor
+    /// cycles; here an access count so scaled runs close epochs too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is zero.
+    pub fn set_epoch_accesses(&mut self, accesses: u64) {
+        assert!(accesses > 0, "epoch length must be non-zero");
+        self.epoch_accesses = accesses;
+    }
+
+    /// Spawns the paper's rate-mode workload: one copy of `app` per core.
+    /// Returns the per-core instruction streams to pass to [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `app` is not a Table II application.
+    pub fn spawn_rate_workload(
+        &mut self,
+        app: &str,
+        instructions_per_core: u64,
+        seed: u64,
+    ) -> Result<Vec<AppStream>, String> {
+        let spec = AppSpec::by_name(app)
+            .ok_or_else(|| format!("unknown application {app:?}"))?
+            .scaled(self.params.footprint_scale);
+        Ok(self.spawn_rate_workload_spec(&spec, instructions_per_core, seed))
+    }
+
+    /// Spawns a multi-programmed mix: one (possibly different) application
+    /// per core (`chameleon_workloads::WorkloadMix`). The mix must cover
+    /// exactly the system's core count; footprints are scaled by the
+    /// system's footprint scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the mix's core count mismatches.
+    pub fn spawn_mix(
+        &mut self,
+        mix: &WorkloadMix,
+        instructions_per_core: u64,
+        seed: u64,
+    ) -> Result<Vec<AppStream>, String> {
+        if mix.cores() != self.params.cores {
+            return Err(format!(
+                "mix covers {} cores but the system has {}",
+                mix.cores(),
+                self.params.cores
+            ));
+        }
+        let scaled = mix.scaled(self.params.footprint_scale);
+        self.workload = scaled.name.clone();
+        let mut streams = Vec::with_capacity(self.params.cores);
+        for (core, spec) in scaled.apps.iter().enumerate() {
+            let pid = self.os.spawn(spec.per_copy_footprint());
+            self.pids.push(pid);
+            streams.push(AppStream::new(
+                spec,
+                instructions_per_core,
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64),
+            ));
+        }
+        Ok(streams)
+    }
+
+    /// Like [`System::spawn_rate_workload`] but with an explicit,
+    /// already-scaled specification (custom phase churn, tweaked knobs).
+    pub fn spawn_rate_workload_spec(
+        &mut self,
+        spec: &AppSpec,
+        instructions_per_core: u64,
+        seed: u64,
+    ) -> Vec<AppStream> {
+        self.workload = spec.name.clone();
+        let mut streams = Vec::with_capacity(self.params.cores);
+        for core in 0..self.params.cores {
+            let pid = self.os.spawn(spec.per_copy_footprint());
+            self.pids.push(pid);
+            streams.push(AppStream::new(
+                spec,
+                instructions_per_core,
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64),
+            ));
+        }
+        streams
+    }
+
+    /// Touches every page of every process once (the paper's workloads
+    /// allocate their whole footprint up front), reporting allocations to
+    /// the hardware via `ISA-Alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS errors (which indicate a configuration bug).
+    pub fn prefault_all(&mut self) -> Result<(), OsError> {
+        let pids = self.pids.clone();
+        for pid in pids {
+            let mut vaddr = 0;
+            loop {
+                match self.os.touch(pid, vaddr, true, 0, self.policy.as_mut()) {
+                    Ok(_) => {}
+                    Err(OsError::OutOfRange(_)) => break,
+                    Err(e) => return Err(e),
+                }
+                vaddr += 4096;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears all statistics and settles in-flight traffic; call between
+    /// warm-up (prefault) and the measured run.
+    pub fn reset_measurement(&mut self) {
+        self.policy.settle();
+        self.policy.reset_stats();
+        self.hierarchy.reset_stats();
+        self.os.reset_stats();
+    }
+
+    /// Runs the streams to completion and reports everything the paper's
+    /// figures need.
+    pub fn run(&mut self, streams: Vec<AppStream>) -> SystemReport {
+        let mut cores = MultiCore::new(self.params.cores, self.params.core);
+        let run = cores.run(streams, self);
+        self.report(run)
+    }
+
+    /// The paper's measurement protocol (Section VI-A): allocate the full
+    /// footprint, fast-forward with a warm-up run so caches and the
+    /// remapping tables reach steady state, then measure a fresh run of
+    /// `params.instructions_per_core` instructions per core.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for an unknown application.
+    pub fn run_paper_protocol(&mut self, app: &str, seed: u64) -> Result<SystemReport, String> {
+        // Low-intensity applications run proportionally more instructions
+        // so their DRAM-touch counts are comparable (the paper's
+        // 500M-instruction windows give every application ample training
+        // traffic). Compute instructions are batched, so this costs
+        // little simulation time.
+        let spec0 = AppSpec::by_name(app).ok_or_else(|| format!("unknown application {app:?}"))?;
+        let boost = (24.0 / spec0.llc_mpki).clamp(1.0, 8.0);
+        let measure = (self.params.instructions_per_core as f64 * boost) as u64;
+        let warmup = (measure / 2).max(1);
+        let streams = self.spawn_rate_workload(app, warmup, seed)?;
+        self.prefault_all().map_err(|e| e.to_string())?;
+        // Warm-up: same seed, so the same hot/medium regions are touched.
+        let mut cores = MultiCore::new(self.params.cores, self.params.core);
+        let _ = cores.run(streams, self);
+        self.reset_measurement();
+        let streams = self.respawn_streams(app, measure, seed)?;
+        Ok(self.run(streams))
+    }
+
+    fn respawn_streams(
+        &mut self,
+        app: &str,
+        instructions_per_core: u64,
+        seed: u64,
+    ) -> Result<Vec<AppStream>, String> {
+        let spec = AppSpec::by_name(app)
+            .ok_or_else(|| format!("unknown application {app:?}"))?
+            .scaled(self.params.footprint_scale);
+        Ok((0..self.params.cores)
+            .map(|core| {
+                AppStream::new(
+                    &spec,
+                    instructions_per_core,
+                    seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64),
+                )
+            })
+            .collect())
+    }
+
+    fn report(&self, run: RunReport) -> SystemReport {
+        let stats = self.policy.stats();
+        let instructions = run.total_instructions();
+        let l3_misses = self.hierarchy.l3().stats().misses.value();
+        SystemReport {
+            arch: self.arch.label(),
+            workload: self.workload.clone(),
+            run,
+            stacked_hit_rate: stats.stacked_hit_rate(),
+            amat: stats.amat(),
+            swaps: stats.swaps.value(),
+            effective_swaps: stats.effective_swaps(),
+            isa_swaps: stats.isa_swaps.value(),
+            isa_allocs: stats.isa_allocs.value(),
+            isa_frees: stats.isa_frees.value(),
+            mode: self.policy.mode_distribution(),
+            major_faults: self.os.stats().major_faults.value(),
+            minor_faults: self.os.stats().minor_faults.value(),
+            llc_mpki: if instructions == 0 {
+                0.0
+            } else {
+                l3_misses as f64 * 1000.0 / instructions as f64
+            },
+        }
+    }
+}
+
+impl MemorySystem for System {
+    fn access(&mut self, core: usize, vaddr: u64, write: bool, now: u64) -> Reply {
+        let pid = self.pids[core];
+        let touch = self
+            .os
+            .touch(pid, vaddr, write, now, self.policy.as_mut())
+            .expect("streams stay within their process footprint");
+        let paddr = touch.paddr;
+
+        let outcome = self.hierarchy.access(core, paddr, write);
+        let mut latency = outcome.sram_latency as u64;
+        let issue = now + latency;
+
+        if outcome.level == HitLevel::Memory {
+            latency += self.policy.access(paddr, write, issue);
+            if let Some(numa) = self.autonuma.as_mut() {
+                numa.record_access(paddr, self.os.memory_map().node_of(paddr));
+            }
+            self.accesses_since_epoch += 1;
+            if self.accesses_since_epoch >= self.epoch_accesses {
+                self.accesses_since_epoch = 0;
+                if let Some(mut numa) = self.autonuma.take() {
+                    numa.end_epoch(&mut self.os, self.policy.as_mut(), issue);
+                    self.autonuma = Some(numa);
+                }
+            }
+        }
+        // Dirty LLC victims drain to memory as posted writes.
+        for wb in outcome.memory_writebacks {
+            self.policy.writeback(wb, issue);
+        }
+        // Stride-prefetch candidates: fetch from memory (off the critical
+        // path) and install in the LLC. Addresses beyond the managed
+        // physical range are dropped.
+        if !outcome.prefetches.is_empty() {
+            let map = *self.os.memory_map();
+            let lo = match self.os.config().visibility {
+                chameleon_os::Visibility::OffchipOnly => {
+                    map.base(chameleon_os::NodeId::Offchip)
+                }
+                chameleon_os::Visibility::Both => 0,
+            };
+            let hi = map.total().bytes();
+            for pf in outcome.prefetches {
+                if pf >= lo && pf < hi {
+                    self.policy.access(pf, false, issue);
+                    self.hierarchy.install_prefetch(pf);
+                }
+            }
+        }
+
+        Reply {
+            latency,
+            fault_stall: touch.stall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tiny(arch: Architecture) -> SystemReport {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(arch, &params);
+        let streams = s.spawn_rate_workload("mcf", 20_000, 1).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        s.run(streams)
+    }
+
+    #[test]
+    fn chameleon_opt_end_to_end() {
+        let r = run_tiny(Architecture::ChameleonOpt);
+        assert!(r.run.geomean_ipc() > 0.0);
+        assert_eq!(r.arch, "Chameleon-Opt");
+        assert_eq!(r.workload, "mcf");
+        assert!(r.stacked_hit_rate > 0.0 && r.stacked_hit_rate <= 1.0);
+        assert_eq!(r.major_faults, 0, "footprint fits: no thrashing");
+    }
+
+    #[test]
+    fn flat_baselines_never_touch_stacked() {
+        let r = run_tiny(Architecture::FlatSmall);
+        assert_eq!(r.stacked_hit_rate, 0.0);
+        assert_eq!(r.swaps, 0);
+    }
+
+    #[test]
+    fn pom_swaps_chameleon_swaps_less() {
+        let pom = run_tiny(Architecture::Pom);
+        let opt = run_tiny(Architecture::ChameleonOpt);
+        assert!(pom.swaps > 0, "PoM must be swapping");
+        assert!(
+            opt.effective_swaps <= pom.effective_swaps,
+            "Chameleon-Opt ({}) should not out-swap PoM ({})",
+            opt.effective_swaps,
+            pom.effective_swaps
+        );
+    }
+
+    #[test]
+    fn autonuma_produces_epoch_reports() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::AutoNuma { threshold_pct: 90 }, &params);
+        s.set_epoch_accesses(500);
+        let streams = s.spawn_rate_workload("stream", 100_000, 3).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        let _ = s.run(streams);
+        assert!(
+            !s.numa_reports().is_empty(),
+            "long runs must close at least one epoch"
+        );
+    }
+
+    #[test]
+    fn unknown_app_is_an_error() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::Pom, &params);
+        assert!(s.spawn_rate_workload("doom", 1000, 0).is_err());
+    }
+
+    #[test]
+    fn prefetcher_option_runs_and_reduces_llc_misses() {
+        let run = |pf: Option<chameleon_cache::PrefetchConfig>| {
+            let mut params = ScaledParams::tiny();
+            params.prefetcher = pf;
+            let mut s = System::new(Architecture::Pom, &params);
+            let streams = s.spawn_rate_workload("stream", 60_000, 2).unwrap();
+            s.prefault_all().unwrap();
+            s.reset_measurement();
+            let r = s.run(streams);
+            (r.llc_mpki, r.run.geomean_ipc())
+        };
+        let (mpki_off, _) = run(None);
+        let (mpki_on, ipc_on) = run(Some(chameleon_cache::PrefetchConfig::default()));
+        assert!(ipc_on > 0.0);
+        assert!(
+            mpki_on < mpki_off,
+            "prefetching should convert misses to L3 hits ({mpki_on} vs {mpki_off})"
+        );
+    }
+
+    #[test]
+    fn mixed_workload_runs() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::ChameleonOpt, &params);
+        let mix = chameleon_workloads::WorkloadMix::pair("mcf", "miniFE", params.cores);
+        let streams = s.spawn_mix(&mix, 20_000, 3).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        let r = s.run(streams);
+        assert_eq!(r.workload, "mix:mcf+miniFE");
+        assert!(r.run.geomean_ipc() > 0.0);
+        // The quiet app's core should retire faster than mcf's.
+        assert!(r.run.cores[1].ipc() > r.run.cores[0].ipc());
+    }
+
+    #[test]
+    fn mix_core_count_must_match() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::Pom, &params);
+        let mix = chameleon_workloads::WorkloadMix::rate("mcf", params.cores + 1);
+        assert!(s.spawn_mix(&mix, 1000, 0).is_err());
+    }
+
+    #[test]
+    fn oversubscription_causes_major_faults() {
+        // FlatSmall sized below the workload footprint thrashes.
+        let mut params = ScaledParams::tiny();
+        params.hma.offchip.capacity = chameleon_simkit::mem::ByteSize::mib(16);
+        params.footprint_scale = 64; // bigger footprints
+        let mut s = System::new(Architecture::FlatSmall, &params);
+        let streams = s.spawn_rate_workload("stream", 200_000, 5).unwrap();
+        // Allocate the whole (over-sized) footprint, then run: the
+        // resident set no longer fits, so the run pages against the SSD.
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        let r = s.run(streams);
+        assert!(r.major_faults > 0, "expected thrashing");
+        assert!(r.run.mean_running_utilization() < 0.9, "faults tank utilisation");
+    }
+}
