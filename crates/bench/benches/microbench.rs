@@ -24,7 +24,9 @@ fn bench_dram(c: &mut Criterion) {
         let mut now = 0u64;
         let mut addr = 0u64;
         b.iter(|| {
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let out = m.access(black_box(addr % (4 << 30)), 64, MemOp::Read, now);
             now = out.done;
             black_box(out.latency)
@@ -149,7 +151,10 @@ fn bench_system(c: &mut Criterion) {
         ("fig18_cell_pom", Architecture::Pom),
         ("fig18_cell_chameleon_opt", Architecture::ChameleonOpt),
         ("fig15_cell_alloy", Architecture::Alloy),
-        ("fig20_cell_autonuma", Architecture::AutoNuma { threshold_pct: 90 }),
+        (
+            "fig20_cell_autonuma",
+            Architecture::AutoNuma { threshold_pct: 90 },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

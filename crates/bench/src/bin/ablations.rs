@@ -25,14 +25,23 @@ fn main() {
     let mut dump = Vec::new();
 
     banner("Ablation D1: PoM competing-counter swap threshold");
-    println!("{:>10} {:>10} {:>12} {:>10}", "threshold", "PoM IPC", "PoM hit", "PoM swaps");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "threshold", "PoM IPC", "PoM hit", "PoM swaps"
+    );
     for threshold in [1u16, 4, 16, 64] {
         let mut params: ScaledParams = harness.params().clone();
         params.hma.swap_threshold = threshold;
         let rs = run(&params, Architecture::Pom, &apps);
         let hit = rs.iter().map(|r| r.stacked_hit_rate).sum::<f64>() / rs.len() as f64;
         let swaps: u64 = rs.iter().map(|r| r.effective_swaps).sum();
-        println!("{:>10} {:>10.3} {:>11.1}% {:>10}", threshold, gm_ipc(&rs), hit * 100.0, swaps);
+        println!(
+            "{:>10} {:>10.3} {:>11.1}% {:>10}",
+            threshold,
+            gm_ipc(&rs),
+            hit * 100.0,
+            swaps
+        );
         dump.push(serde_json::json!({
             "ablation": "swap_threshold", "value": threshold,
             "ipc": gm_ipc(&rs), "hit": hit, "swaps": swaps,
@@ -60,11 +69,18 @@ fn main() {
     println!("(Section VI-B: no threshold maximises cache-mode hit rate.)");
 
     banner("Ablation D2: segment granularity (2KB PoM vs 64B CAMEO)");
-    for (name, arch) in [("PoM-2KB", Architecture::Pom), ("CAMEO-64B", Architecture::Cameo)] {
+    for (name, arch) in [
+        ("PoM-2KB", Architecture::Pom),
+        ("CAMEO-64B", Architecture::Cameo),
+    ] {
         let params: ScaledParams = harness.params().clone();
         let rs = run(&params, arch, &apps);
         let hit = rs.iter().map(|r| r.stacked_hit_rate).sum::<f64>() / rs.len() as f64;
-        println!("{name:>10}: IPC {:.3}, hit {:.1}%", gm_ipc(&rs), hit * 100.0);
+        println!(
+            "{name:>10}: IPC {:.3}, hit {:.1}%",
+            gm_ipc(&rs),
+            hit * 100.0
+        );
         dump.push(serde_json::json!({
             "ablation": "segment_size", "value": name, "ipc": gm_ipc(&rs), "hit": hit,
         }));
@@ -92,7 +108,10 @@ fn main() {
     banner("Ablation: explicit stride prefetcher (vs MLP-folded default)");
     for (label, pf) in [
         ("no explicit prefetcher", None),
-        ("stride prefetcher on", Some(chameleon::cache::PrefetchConfig::default())),
+        (
+            "stride prefetcher on",
+            Some(chameleon::cache::PrefetchConfig::default()),
+        ),
     ] {
         let mut params: ScaledParams = harness.params().clone();
         params.prefetcher = pf;

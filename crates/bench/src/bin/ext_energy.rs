@@ -33,18 +33,22 @@ fn main() {
             let mut s = System::new(arch, &params);
             let r = s.run_paper_protocol(app, 42).expect("Table II app");
             let d = s.policy().devices();
-            let stacked_mj = d.stacked.energy().dynamic_energy_mj(&EnergyParams::stacked());
-            let offchip_mj = d.offchip.energy().dynamic_energy_mj(&EnergyParams::offchip());
+            let stacked_mj = d
+                .stacked
+                .energy()
+                .dynamic_energy_mj(&EnergyParams::stacked());
+            let offchip_mj = d
+                .offchip
+                .energy()
+                .dynamic_energy_mj(&EnergyParams::offchip());
             let makespan = r.run.makespan();
-            let background = EnergyCounter::background_energy_mj(
-                &EnergyParams::stacked(),
-                makespan,
-                3600.0,
-            ) + EnergyCounter::background_energy_mj(
-                &EnergyParams::offchip(),
-                makespan,
-                3600.0,
-            );
+            let background =
+                EnergyCounter::background_energy_mj(&EnergyParams::stacked(), makespan, 3600.0)
+                    + EnergyCounter::background_energy_mj(
+                        &EnergyParams::offchip(),
+                        makespan,
+                        3600.0,
+                    );
             let total_mj = stacked_mj + offchip_mj + background;
             let pj_per_instr = total_mj * 1.0e9 / r.run.total_instructions() as f64;
             println!(
@@ -74,5 +78,9 @@ fn main() {
 }
 
 fn short(label: &str) -> String {
-    label.replace(" (no stacked DRAM)", "").chars().take(14).collect()
+    label
+        .replace(" (no stacked DRAM)", "")
+        .chars()
+        .take(14)
+        .collect()
 }

@@ -30,7 +30,10 @@ fn main() {
     let report = system.run(streams);
 
     banner("Figure 2c: Cloverleaf AutoNUMA timeline (90% threshold)");
-    println!("{:>6} {:>10} {:>8} {:>8}", "epoch", "migrated", "enomem", "hit");
+    println!(
+        "{:>6} {:>10} {:>8} {:>8}",
+        "epoch", "migrated", "enomem", "hit"
+    );
     let epochs = system.numa_reports();
     for (i, e) in epochs.iter().enumerate() {
         println!(

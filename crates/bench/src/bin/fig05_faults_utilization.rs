@@ -17,7 +17,10 @@ fn main() {
 
     banner("Figure 5: page faults and CPU utilisation vs capacity");
     let mut rows = Vec::new();
-    println!("{:<11} {:>5}  {:>12} {:>12}", "WL", "cap", "major faults", "CPU util");
+    println!(
+        "{:<11} {:>5}  {:>12} {:>12}",
+        "WL", "cap", "major faults", "CPU util"
+    );
     for app in &apps {
         for &cap_gb in &caps {
             let mut params = harness.params().clone();

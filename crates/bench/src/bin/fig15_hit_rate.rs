@@ -4,7 +4,7 @@
 //! Paper: Alloy 62.4%, PoM 81%, Chameleon 84.6%, Chameleon-Opt 89.4%
 //! (averages).
 
-use chameleon_bench::{banner, pct, Harness};
+use chameleon_bench::{banner, pct, EpochTimeline, Harness};
 
 fn main() {
     let harness = Harness::new();
@@ -36,9 +36,7 @@ fn main() {
         print!(" {:>11}", pct(s / n));
     }
     println!();
-    println!(
-        "\npaper averages: Alloy 62.4% | PoM 81.0% | Chameleon 84.6% | Chameleon-Opt 89.4%"
-    );
+    println!("\npaper averages: Alloy 62.4% | PoM 81.0% | Chameleon 84.6% | Chameleon-Opt 89.4%");
 
     let rows: Vec<_> = sweep
         .apps
@@ -55,4 +53,17 @@ fn main() {
         })
         .collect();
     harness.save_json("fig15_hit_rate.json", &rows);
+
+    // Per-epoch hit-rate timelines for the same four columns, from the
+    // metrics registry each run carries.
+    let timelines: Vec<EpochTimeline> = idx
+        .iter()
+        .flat_map(|&xi| {
+            sweep
+                .arch_column(xi)
+                .into_iter()
+                .map(EpochTimeline::from_report)
+        })
+        .collect();
+    harness.save_json("fig15_hit_rate_timeline.json", &timelines);
 }

@@ -10,7 +10,11 @@ use chameleon_bench::{banner, pct, Harness};
 fn main() {
     let harness = Harness::new();
     let sweep = harness.main_sweep();
-    let cham = sweep.archs.iter().position(|a| a == "Chameleon").expect("arch");
+    let cham = sweep
+        .archs
+        .iter()
+        .position(|a| a == "Chameleon")
+        .expect("arch");
     let opt = sweep
         .archs
         .iter()

@@ -11,7 +11,11 @@ fn main() {
     let harness = Harness::new();
     let sweep = harness.main_sweep();
     let pom = sweep.archs.iter().position(|a| a == "PoM").expect("arch");
-    let cham = sweep.archs.iter().position(|a| a == "Chameleon").expect("arch");
+    let cham = sweep
+        .archs
+        .iter()
+        .position(|a| a == "Chameleon")
+        .expect("arch");
     let opt = sweep
         .archs
         .iter()
@@ -19,7 +23,10 @@ fn main() {
         .expect("arch");
 
     banner("Figure 17: segment swaps (normalised to PoM)");
-    println!("{:<11} {:>8} {:>10} {:>14}", "WL", "PoM", "Chameleon", "Chameleon-Opt");
+    println!(
+        "{:<11} {:>8} {:>10} {:>14}",
+        "WL", "PoM", "Chameleon", "Chameleon-Opt"
+    );
     let (mut s1, mut s2) = (0.0, 0.0);
     let mut counted = 0usize;
     for (a, app) in sweep.apps.iter().enumerate() {
@@ -36,10 +43,14 @@ fn main() {
         println!("{app:<11} {:>8.2} {:>10.2} {:>14.2}", 1.0, r1, r2);
     }
     let n = counted as f64;
-    println!("{:<11} {:>8.2} {:>10.2} {:>14.2}", "Average", 1.0, s1 / n, s2 / n);
     println!(
-        "\npaper averages: Chameleon 0.86 (-14.4%) | Chameleon-Opt 0.57 (-43.1%)"
+        "{:<11} {:>8.2} {:>10.2} {:>14.2}",
+        "Average",
+        1.0,
+        s1 / n,
+        s2 / n
     );
+    println!("\npaper averages: Chameleon 0.86 (-14.4%) | Chameleon-Opt 0.57 (-43.1%)");
 
     let rows: Vec<_> = sweep
         .apps

@@ -4,7 +4,7 @@
 //! Paper: PoM +85.2%/+36.5% over the 20GB/24GB baselines; Chameleon
 //! +6.3% and Chameleon-Opt +11.6% over PoM; +18.5%/+24.2% over Alloy.
 
-use chameleon_bench::{banner, geomean, Harness};
+use chameleon_bench::{banner, geomean, EpochTimeline, Harness};
 
 fn main() {
     let harness = Harness::new();
@@ -21,9 +21,9 @@ fn main() {
     for (a, app) in sweep.apps.iter().enumerate() {
         let base = sweep.cell(a, 0).run.geomean_ipc();
         print!("{app:<11}");
-        for x in 0..n_arch {
+        for (x, col) in per_arch_ipc.iter_mut().enumerate() {
             let ipc = sweep.cell(a, x).run.geomean_ipc();
-            per_arch_ipc[x].push(ipc);
+            col.push(ipc);
             print!(" {:>13.2}", ipc / base);
         }
         println!();
@@ -35,11 +35,21 @@ fn main() {
     }
     println!();
 
-    let label = |s: &str| sweep.archs.iter().position(|a| a.contains(s)).expect("arch");
+    let label = |s: &str| {
+        sweep
+            .archs
+            .iter()
+            .position(|a| a.contains(s))
+            .expect("arch")
+    };
     let (f20, f24) = (0, 1);
     let (alloy, pom) = (label("Alloy"), label("PoM"));
     let (cham, opt) = (
-        sweep.archs.iter().position(|a| a == "Chameleon").expect("arch"),
+        sweep
+            .archs
+            .iter()
+            .position(|a| a == "Chameleon")
+            .expect("arch"),
         label("Chameleon-Opt"),
     );
     println!("\nGeoMean improvements (ours vs paper):");
@@ -81,6 +91,15 @@ fn main() {
         })
         .collect();
     harness.save_json("fig18_ipc.json", &rows);
+
+    // Per-epoch timelines for the reconfigurable architecture, showing
+    // how swaps and the cache/PoM mode mix evolve over the run.
+    let timelines: Vec<EpochTimeline> = sweep
+        .arch_column(opt)
+        .into_iter()
+        .map(EpochTimeline::from_report)
+        .collect();
+    harness.save_json("fig18_ipc_timeline.json", &timelines);
 }
 
 fn shorten(label: &str) -> String {

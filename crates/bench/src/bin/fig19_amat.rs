@@ -16,7 +16,10 @@ fn main() {
         .collect();
 
     banner("Figure 19: average memory access latency (CPU cycles)");
-    println!("{:<11} {:>8} {:>10} {:>14}", "WL", "PoM", "Chameleon", "Chameleon-Opt");
+    println!(
+        "{:<11} {:>8} {:>10} {:>14}",
+        "WL", "PoM", "Chameleon", "Chameleon-Opt"
+    );
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
     for (a, app) in sweep.apps.iter().enumerate() {
         print!("{app:<11}");

@@ -64,7 +64,9 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(ai, app)| {
-            let ipcs: Vec<f64> = (0..n).map(|x| reports[ai * n + x].run.geomean_ipc()).collect();
+            let ipcs: Vec<f64> = (0..n)
+                .map(|x| reports[ai * n + x].run.geomean_ipc())
+                .collect();
             let labels: Vec<String> = archs.iter().map(|a| a.label()).collect();
             serde_json::json!({ "app": app, "archs": labels, "ipc": ipcs })
         })

@@ -37,9 +37,7 @@ fn main() {
         }
         // Run phase: every 16th page is hot and gets promoted.
         for p in (0..pages).step_by(16) {
-            let paddr = os
-                .peek_translate(pid, p * 4096)
-                .expect("page resident");
+            let paddr = os.peek_translate(pid, p * 4096).expect("page resident");
             for _ in 0..=threshold {
                 now += 5_000_000;
                 policy.access(paddr, false, now);
@@ -50,9 +48,18 @@ fn main() {
 
     let s = policy.stats();
     println!("pages allocated over the sequence : {total_alloc_pages}");
-    println!("per-segment ISA-Alloc invocations : {}", s.isa_allocs.value());
-    println!("per-segment ISA-Free invocations  : {}", s.isa_frees.value());
-    println!("transition-triggered swaps        : {}", s.isa_swaps.value());
+    println!(
+        "per-segment ISA-Alloc invocations : {}",
+        s.isa_allocs.value()
+    );
+    println!(
+        "per-segment ISA-Free invocations  : {}",
+        s.isa_frees.value()
+    );
+    println!(
+        "transition-triggered swaps        : {}",
+        s.isa_swaps.value()
+    );
 
     // The paper's conservative estimate (Section VI-F): one swap per
     // ISA-Alloc/Free, 700 CPU cycles per 64B line of a 2KB segment, on a

@@ -20,7 +20,10 @@ fn print_cfg(title: &str, hma: &HmaConfig, params: Option<&ScaledParams>) {
             p.l1.capacity, p.l1.ways, p.l2.capacity, p.l2.ways, p.l3.capacity, p.l3.ways
         );
     }
-    for (name, d) in [("Stacked DRAM", &hma.stacked), ("Off-chip DRAM", &hma.offchip)] {
+    for (name, d) in [
+        ("Stacked DRAM", &hma.stacked),
+        ("Off-chip DRAM", &hma.offchip),
+    ] {
         println!(
             "{name:19} {} | {} ch x {} bits @ {:.0}MHz (DDR) = {:.1} GB/s | \
              tCAS-tRCD-tRP-tRAS {}-{}-{}-{} | tRFC {:.0}ns",
@@ -46,7 +49,11 @@ fn print_cfg(title: &str, hma: &HmaConfig, params: Option<&ScaledParams>) {
 }
 
 fn main() {
-    print_cfg("Table I: paper configuration (full scale)", &HmaConfig::table1(), None);
+    print_cfg(
+        "Table I: paper configuration (full scale)",
+        &HmaConfig::table1(),
+        None,
+    );
     let params = ScaledParams::laptop();
     print_cfg(
         "Table I: scaled configuration used by the experiment runners (1/64)",

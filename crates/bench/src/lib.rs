@@ -14,9 +14,8 @@ use std::path::PathBuf;
 
 use chameleon::{Architecture, ScaledParams, System, SystemReport};
 use chameleon_workloads::AppSpec;
-use crossbeam::thread;
-use parking_lot::Mutex;
 use serde::{de::DeserializeOwned, Serialize};
+use std::sync::Mutex;
 
 /// Run sizing, selected with the `CHAMELEON_SCALE` environment variable
 /// (`quick` or `full`; default `full`).
@@ -126,22 +125,22 @@ impl Harness {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(cells.len().max(1));
-        thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if i >= cells.len() {
                         break;
                     }
                     let (slot, arch, app) = cells[i].clone();
                     let report = self.run_cell(arch, &app);
-                    results.lock()[slot] = Some(report);
+                    results.lock().expect("results lock")[slot] = Some(report);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         results
             .into_inner()
+            .expect("results lock")
             .into_iter()
             .map(|r| r.expect("all cells filled"))
             .collect()
@@ -172,7 +171,13 @@ impl Harness {
     /// `results/main_sweep.json`.
     pub fn main_sweep(&self) -> MainSweep {
         if let Some(sweep) = self.load_json::<MainSweep>("main_sweep.json") {
-            if sweep.instructions == self.params.instructions_per_core {
+            // A cached sweep predating the metrics registry deserialises
+            // with empty timelines; recompute so runners can emit them.
+            let has_metrics = sweep
+                .reports
+                .first()
+                .is_some_and(|r| !r.metrics.epochs.is_empty());
+            if sweep.instructions == self.params.instructions_per_core && has_metrics {
                 println!("[using cached results/main_sweep.json]");
                 return sweep;
             }
@@ -218,7 +223,90 @@ impl MainSweep {
 
     /// Column of reports for one architecture index.
     pub fn arch_column(&self, arch_idx: usize) -> Vec<&SystemReport> {
-        (0..self.apps.len()).map(|a| self.cell(a, arch_idx)).collect()
+        (0..self.apps.len())
+            .map(|a| self.cell(a, arch_idx))
+            .collect()
+    }
+}
+
+/// One epoch's activity in an [`EpochTimeline`], derived from the
+/// metrics-registry deltas a run records every AutoNUMA-style epoch.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochPoint {
+    /// Zero-based epoch index.
+    pub index: u64,
+    /// CPU cycle at which the epoch closed.
+    pub end_at: u64,
+    /// Demand accesses the HMA serviced during the epoch.
+    pub demand_accesses: u64,
+    /// Of those, accesses serviced by the stacked DRAM.
+    pub stacked_hits: u64,
+    /// Per-epoch stacked hit rate (not cumulative).
+    pub hit_rate: f64,
+    /// Segment swaps during the epoch.
+    pub swaps: u64,
+    /// Cache-mode segment fills during the epoch.
+    pub fills: u64,
+    /// Cache-mode dirty writebacks during the epoch.
+    pub writebacks: u64,
+    /// Fraction of segment groups in cache mode at the epoch boundary.
+    pub cache_fraction: f64,
+}
+
+/// A per-epoch timeline for one (architecture, application) run,
+/// extracted from [`SystemReport::metrics`]. This is the shape the
+/// `fig15`/`fig18` runners dump and the integration tests consume.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochTimeline {
+    /// Metrics schema version the timeline was derived from.
+    pub schema_version: u32,
+    /// Architecture label.
+    pub arch: String,
+    /// Workload name.
+    pub app: String,
+    /// Epochs, oldest first. The final entry covers the partial tail of
+    /// the run.
+    pub epochs: Vec<EpochPoint>,
+}
+
+impl EpochTimeline {
+    /// Derives the timeline from a report's metrics export.
+    pub fn from_report(report: &SystemReport) -> Self {
+        let epochs = report
+            .metrics
+            .epochs
+            .iter()
+            .map(|e| {
+                let d = |name: &str| e.deltas.get(name).copied().unwrap_or(0);
+                let demand = d("hma.demand_accesses");
+                let hits = d("hma.stacked_hits");
+                EpochPoint {
+                    index: e.index,
+                    end_at: e.end_at,
+                    demand_accesses: demand,
+                    stacked_hits: hits,
+                    hit_rate: if demand == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / demand as f64
+                    },
+                    swaps: d("hma.swaps"),
+                    fills: d("hma.fills"),
+                    writebacks: d("hma.writebacks"),
+                    cache_fraction: e
+                        .gauges
+                        .get("hma.mode.cache_fraction")
+                        .copied()
+                        .unwrap_or(0.0),
+                }
+            })
+            .collect();
+        Self {
+            schema_version: report.metrics.schema_version,
+            arch: report.arch.clone(),
+            app: report.workload.clone(),
+            epochs,
+        }
     }
 }
 

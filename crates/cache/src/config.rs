@@ -72,11 +72,14 @@ impl CacheConfig {
             return Err("associativity must be non-zero".to_owned());
         }
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size must be a power of two, got {}", self.line_bytes));
+            return Err(format!(
+                "line size must be a power of two, got {}",
+                self.line_bytes
+            ));
         }
         let set_bytes = self.ways as u64 * self.line_bytes as u64;
         let cap = self.capacity.bytes();
-        if cap == 0 || cap % set_bytes != 0 {
+        if cap == 0 || !cap.is_multiple_of(set_bytes) {
             return Err(format!(
                 "capacity {} must be a multiple of way*line ({set_bytes})",
                 self.capacity
@@ -96,7 +99,10 @@ mod tests {
     fn table1_geometries() {
         assert_eq!(CacheConfig::table1_l1().sets(), 128);
         assert_eq!(CacheConfig::table1_l2().sets(), 512);
-        assert_eq!(CacheConfig::table1_l3().sets(), 12 * 1024 * 1024 / (16 * 64));
+        assert_eq!(
+            CacheConfig::table1_l3().sets(),
+            12 * 1024 * 1024 / (16 * 64)
+        );
     }
 
     #[test]

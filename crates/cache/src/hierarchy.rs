@@ -116,7 +116,11 @@ impl Hierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
-        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let mut latency = self.l1_latency;
         let mut memory_writebacks = Vec::new();
         let mut prefetches = Vec::new();
@@ -134,11 +138,13 @@ impl Hierarchy {
             LookupResult::Miss { writeback } => {
                 if let Some(wb) = writeback {
                     // Dirty L1 victim lands in L2.
-                    if let LookupResult::Miss { writeback: Some(wb2) } =
-                        self.l2[core].access(wb, AccessKind::Write)
+                    if let LookupResult::Miss {
+                        writeback: Some(wb2),
+                    } = self.l2[core].access(wb, AccessKind::Write)
                     {
-                        if let LookupResult::Miss { writeback: Some(wb3) } =
-                            self.l3.access(wb2, AccessKind::Write)
+                        if let LookupResult::Miss {
+                            writeback: Some(wb3),
+                        } = self.l3.access(wb2, AccessKind::Write)
                         {
                             memory_writebacks.push(wb3);
                         }
@@ -160,8 +166,9 @@ impl Hierarchy {
             }
             LookupResult::Miss { writeback } => {
                 if let Some(wb) = writeback {
-                    if let LookupResult::Miss { writeback: Some(wb2) } =
-                        self.l3.access(wb, AccessKind::Write)
+                    if let LookupResult::Miss {
+                        writeback: Some(wb2),
+                    } = self.l3.access(wb, AccessKind::Write)
                     {
                         memory_writebacks.push(wb2);
                     }
@@ -269,7 +276,7 @@ mod tests {
         // Dirty many distinct lines far exceeding L1+L2+L3 capacity so
         // dirty L3 victims appear.
         let mut wrote_back = 0;
-        for i in 0..(1_000_000u64) {
+        for i in 0..1_000_000u64 {
             let out = h.access(0, i * 64, true);
             wrote_back += out.memory_writebacks.len();
         }

@@ -70,7 +70,10 @@ impl StridePrefetcher {
     /// Panics on a degenerate configuration.
     pub fn new(cfg: PrefetchConfig) -> Self {
         assert!(cfg.table_entries > 0, "table must have entries");
-        assert!(cfg.region_bytes.is_power_of_two(), "region must be a power of two");
+        assert!(
+            cfg.region_bytes.is_power_of_two(),
+            "region must be a power of two"
+        );
         assert!(cfg.degree > 0, "degree must be positive");
         Self {
             table: vec![RptEntry::default(); cfg.table_entries],

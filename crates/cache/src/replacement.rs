@@ -3,9 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Which line a set evicts on a miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ReplacementPolicy {
     /// Least-recently used (the default; what the paper's GEM5 caches use).
+    #[default]
     Lru,
     /// First-in first-out: insertion order, hits do not refresh.
     Fifo,
@@ -14,12 +15,6 @@ pub enum ReplacementPolicy {
     /// Static re-reference interval prediction (2-bit RRPV): scan-resistant
     /// — streaming lines are inserted "far" and evicted before reused data.
     Srrip,
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
-    }
 }
 
 #[cfg(test)]
@@ -44,7 +39,10 @@ mod tests {
     #[test]
     fn default_policy_is_lru() {
         assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
-        assert_eq!(tiny(ReplacementPolicy::Lru).policy(), ReplacementPolicy::Lru);
+        assert_eq!(
+            tiny(ReplacementPolicy::Lru).policy(),
+            ReplacementPolicy::Lru
+        );
     }
 
     #[test]
@@ -86,7 +84,11 @@ mod tests {
             resident
         };
         assert_eq!(run(), run(), "deterministic victims");
-        assert_eq!(run().iter().filter(|&&r| r).count(), 4, "exactly 4 resident");
+        assert_eq!(
+            run().iter().filter(|&&r| r).count(),
+            4,
+            "exactly 4 resident"
+        );
     }
 
     #[test]

@@ -136,9 +136,10 @@ impl SetAssocCache {
 
         // Miss: pick an invalid way, else the policy's victim.
         let mut rng_state = self.rng_state;
-        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            Self::pick_victim(set, policy, &mut rng_state)
-        });
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| Self::pick_victim(set, policy, &mut rng_state));
         self.rng_state = rng_state;
         let victim = set[victim_idx];
         let writeback = (victim.valid && victim.dirty).then(|| victim.tag << self.line_shift);
@@ -254,10 +255,20 @@ mod tests {
     #[test]
     fn hit_after_fill() {
         let mut c = tiny();
-        assert!(matches!(c.access(0, AccessKind::Read), LookupResult::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0, AccessKind::Read),
+            LookupResult::Miss { writeback: None }
+        ));
         assert_eq!(c.access(0, AccessKind::Read), LookupResult::Hit);
-        assert_eq!(c.access(63, AccessKind::Read), LookupResult::Hit, "same line");
-        assert!(matches!(c.access(64, AccessKind::Read), LookupResult::Miss { .. }), "next line");
+        assert_eq!(
+            c.access(63, AccessKind::Read),
+            LookupResult::Hit,
+            "same line"
+        );
+        assert!(
+            matches!(c.access(64, AccessKind::Read), LookupResult::Miss { .. }),
+            "next line"
+        );
     }
 
     #[test]

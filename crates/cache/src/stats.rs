@@ -1,5 +1,6 @@
 //! Cache statistics.
 
+use chameleon_simkit::metrics::{MetricSource, Registry};
 use chameleon_simkit::stats::Counter;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,16 @@ impl CacheStats {
         }
     }
 
+    /// Merges another cache's counters into this one (per-core roll-ups).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.hits.merge(&other.hits);
+        self.misses.merge(&other.misses);
+        self.evictions.merge(&other.evictions);
+        self.writebacks.merge(&other.writebacks);
+    }
+
     /// Misses per kilo-instruction given a retired-instruction count.
     pub fn mpki(&self, instructions: u64) -> f64 {
         if instructions == 0 {
@@ -58,6 +69,18 @@ impl CacheStats {
         } else {
             self.misses.value() as f64 * 1000.0 / instructions as f64
         }
+    }
+}
+
+impl MetricSource for CacheStats {
+    fn publish(&self, prefix: &str, reg: &mut Registry) {
+        reg.set_counter_from(&format!("{prefix}reads"), &self.reads);
+        reg.set_counter_from(&format!("{prefix}writes"), &self.writes);
+        reg.set_counter_from(&format!("{prefix}hits"), &self.hits);
+        reg.set_counter_from(&format!("{prefix}misses"), &self.misses);
+        reg.set_counter_from(&format!("{prefix}evictions"), &self.evictions);
+        reg.set_counter_from(&format!("{prefix}writebacks"), &self.writebacks);
+        reg.set_gauge(&format!("{prefix}hit_rate"), self.hit_rate());
     }
 }
 

@@ -90,7 +90,10 @@ impl HmaPolicy for AlloyPolicy {
         // predicted miss the off-chip access is dispatched in parallel
         // (Alloy's memory access predictor — the latency-optimised part
         // of the design).
-        let probe = self.devices.stacked.access(set as u64 * 64, 64, MemOp::Read, now);
+        let probe = self
+            .devices
+            .stacked
+            .access(set as u64 * 64, 64, MemOp::Read, now);
         let entry = self.tags[set];
         let latency = if entry.valid && entry.tag == line {
             // Hit: data arrived with the tag.

@@ -36,6 +36,7 @@ macro_rules! delegate_policy {
 
             fn reset_stats(&mut self) {
                 self.machine.stats = HmaStats::default();
+                self.machine.trace.clear();
                 self.machine.devices.stacked.reset_stats();
                 self.machine.devices.offchip.reset_stats();
             }
@@ -54,6 +55,10 @@ macro_rules! delegate_policy {
 
             fn mode_distribution(&self) -> ModeDistribution {
                 self.machine.mode_distribution()
+            }
+
+            fn events(&self) -> Option<&chameleon_simkit::metrics::EventTrace> {
+                Some(&self.machine.trace)
             }
         }
     };

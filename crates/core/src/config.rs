@@ -74,7 +74,7 @@ impl HmaConfig {
     pub fn scaled_with_ratio(total: ByteSize, ratio: u64) -> Self {
         let parts = ratio + 1;
         assert!(
-            total.bytes() % parts == 0,
+            total.bytes().is_multiple_of(parts),
             "total {total} does not divide into {parts} parts"
         );
         let stacked = ByteSize::bytes_exact(total.bytes() / parts);
@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn scaled_keeps_ratio() {
         let c = HmaConfig::scaled_laptop();
-        assert_eq!(
-            c.offchip.capacity.bytes() / c.stacked.capacity.bytes(),
-            5
-        );
+        assert_eq!(c.offchip.capacity.bytes() / c.stacked.capacity.bytes(), 5);
     }
 
     #[test]

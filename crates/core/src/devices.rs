@@ -47,8 +47,12 @@ impl HmaDevices {
         // buffered line of skew).
         let r_s = self.stacked.bulk(stacked_addr, seg_bytes, MemOp::Read, now);
         let r_o = self.offchip.bulk(offchip_addr, seg_bytes, MemOp::Read, now);
-        let w_s = self.stacked.bulk(stacked_addr, seg_bytes, MemOp::Write, now);
-        let w_o = self.offchip.bulk(offchip_addr, seg_bytes, MemOp::Write, now);
+        let w_s = self
+            .stacked
+            .bulk(stacked_addr, seg_bytes, MemOp::Write, now);
+        let w_o = self
+            .offchip
+            .bulk(offchip_addr, seg_bytes, MemOp::Write, now);
         let skew = self.offchip.line_transfer_cycles();
         r_s.done.max(r_o.done).max(w_s.done).max(w_o.done) + skew
     }
@@ -62,7 +66,9 @@ impl HmaDevices {
         now: Cycle,
     ) -> Cycle {
         let r = self.offchip.bulk(offchip_addr, seg_bytes, MemOp::Read, now);
-        let w = self.stacked.bulk(stacked_addr, seg_bytes, MemOp::Write, now);
+        let w = self
+            .stacked
+            .bulk(stacked_addr, seg_bytes, MemOp::Write, now);
         r.done.max(w.done) + self.offchip.line_transfer_cycles()
     }
 
@@ -76,14 +82,20 @@ impl HmaDevices {
         now: Cycle,
     ) -> Cycle {
         let r = self.stacked.bulk(stacked_addr, seg_bytes, MemOp::Read, now);
-        let w = self.offchip.bulk(offchip_addr, seg_bytes, MemOp::Write, now);
+        let w = self
+            .offchip
+            .bulk(offchip_addr, seg_bytes, MemOp::Write, now);
         r.done.max(w.done) + self.offchip.line_transfer_cycles()
     }
 
     /// Zeroes a segment on a device (`stacked == true` selects the
     /// stacked device) — the security clear of Section V-D2.
     pub fn clear_segment(&mut self, stacked: bool, addr: u64, seg_bytes: u32, now: Cycle) -> Cycle {
-        let dev = if stacked { &mut self.stacked } else { &mut self.offchip };
+        let dev = if stacked {
+            &mut self.stacked
+        } else {
+            &mut self.offchip
+        };
         dev.bulk(addr, seg_bytes, MemOp::Write, now).done
     }
 }

@@ -152,7 +152,9 @@ impl IsaHook for StaticNumaPolicy {
 
     fn isa_free(&mut self, addr: u64, len: u64, now: u64) {
         if addr < self.stacked_bytes {
-            self.devices.stacked.bulk(addr, len as u32, MemOp::Read, now);
+            self.devices
+                .stacked
+                .bulk(addr, len as u32, MemOp::Read, now);
         } else {
             self.devices
                 .offchip
@@ -240,7 +242,10 @@ mod tests {
         let mut p = StaticNumaPolicy::new(cfg);
         let fast = p.access(0, false, 0);
         let slow = p.access(off_base, false, 0);
-        assert!(slow > fast, "off-chip ({slow}) should exceed stacked ({fast})");
+        assert!(
+            slow > fast,
+            "off-chip ({slow}) should exceed stacked ({fast})"
+        );
     }
 
     #[test]
@@ -253,8 +258,7 @@ mod tests {
         assert_eq!(f.stats().stacked_hits.value(), 0);
         assert_eq!(f.devices().stacked.stats().reads.value(), 0);
         assert_eq!(
-            f.devices().offchip.stats().reads.value()
-                + f.devices().offchip.stats().writes.value(),
+            f.devices().offchip.stats().reads.value() + f.devices().offchip.stats().writes.value(),
             100
         );
     }

@@ -45,13 +45,25 @@ impl SegmentGeometry {
     /// resulting group would exceed [`MAX_SLOTS`] slots.
     pub fn new(stacked: ByteSize, offchip: ByteSize, segment: ByteSize) -> Self {
         let seg = segment.bytes();
-        assert!(seg > 0 && seg.is_power_of_two(), "segment size must be a power of two");
-        assert!(stacked.bytes() % seg == 0, "stacked capacity must be segment-aligned");
-        assert!(offchip.bytes() % seg == 0, "off-chip capacity must be segment-aligned");
-        let stacked_segments = stacked.bytes() / seg;
-        assert!(stacked_segments > 0, "stacked memory must hold at least one segment");
         assert!(
-            offchip.bytes() % stacked.bytes() == 0,
+            seg > 0 && seg.is_power_of_two(),
+            "segment size must be a power of two"
+        );
+        assert!(
+            stacked.bytes().is_multiple_of(seg),
+            "stacked capacity must be segment-aligned"
+        );
+        assert!(
+            offchip.bytes().is_multiple_of(seg),
+            "off-chip capacity must be segment-aligned"
+        );
+        let stacked_segments = stacked.bytes() / seg;
+        assert!(
+            stacked_segments > 0,
+            "stacked memory must hold at least one segment"
+        );
+        assert!(
+            offchip.bytes().is_multiple_of(stacked.bytes()),
             "off-chip capacity must be an integer multiple of stacked capacity \
              (got {} vs {})",
             offchip,
@@ -164,11 +176,7 @@ mod tests {
 
     fn geo() -> SegmentGeometry {
         // 8KiB stacked + 40KiB off-chip, 2KiB segments -> 4 groups of 6.
-        SegmentGeometry::new(
-            ByteSize::kib(8),
-            ByteSize::kib(40),
-            ByteSize::kib(2),
-        )
+        SegmentGeometry::new(ByteSize::kib(8), ByteSize::kib(40), ByteSize::kib(2))
     }
 
     #[test]

@@ -36,13 +36,13 @@
 //! ```
 
 mod alloy;
-mod machine;
 mod chameleon;
 mod config;
 mod devices;
 pub mod encoding;
 mod flat;
 mod geometry;
+mod machine;
 pub mod policy;
 mod pom;
 mod srrt;

@@ -8,6 +8,7 @@
 //! flowcharts of Figures 8, 10, 12 and 14 of the paper.
 
 use chameleon_dram::MemOp;
+use chameleon_simkit::metrics::{EventKind, EventTrace, Registry};
 use chameleon_simkit::Cycle;
 
 use crate::srrt::{Mode, SegmentGroupTable, SrrtEntry};
@@ -46,6 +47,9 @@ pub(crate) struct RemapMachine {
     pub(crate) table: SegmentGroupTable,
     pub(crate) devices: HmaDevices,
     pub(crate) stats: HmaStats,
+    /// Ring buffer of discrete events (transitions, swaps, ISA calls,
+    /// writebacks) for the metrics timeline.
+    pub(crate) trace: EventTrace,
     flavor: Flavor,
     name: &'static str,
 }
@@ -68,6 +72,7 @@ impl RemapMachine {
             table,
             devices,
             stats: HmaStats::default(),
+            trace: EventTrace::new(Registry::DEFAULT_TRACE_CAPACITY),
             flavor,
             name,
         }
@@ -178,6 +183,7 @@ impl RemapMachine {
             e.swap_homes(slot, occupant);
             e.set_transit(slot, Some(occupant), done);
             self.stats.swaps.inc();
+            self.trace.push(now, EventKind::Swap, group);
         }
         latency
     }
@@ -238,12 +244,14 @@ impl RemapMachine {
             if e.is_dirty() {
                 // Victim writeback and new fill pipeline through separate
                 // buffers; both proceed concurrently.
-                let victim_home =
-                    self.geom.offchip_rel(self.geom.slot_addr(group, e.physical_of(victim)));
+                let victim_home = self
+                    .geom
+                    .offchip_rel(self.geom.slot_addr(group, e.physical_of(victim)));
                 done = self
                     .devices
                     .writeback_segment(stacked_addr, victim_home, seg, now);
                 self.stats.writebacks.inc();
+                self.trace.push(now, EventKind::Writeback, group);
             }
         }
         let home_addr = self.geom.offchip_rel(self.geom.slot_addr(group, home));
@@ -254,6 +262,7 @@ impl RemapMachine {
         }
         e.set_transit(slot, None, done);
         self.stats.fills.inc();
+        self.trace.push(now, EventKind::Fill, group);
         latency
     }
 
@@ -277,6 +286,7 @@ impl RemapMachine {
     pub(crate) fn isa_alloc_range(&mut self, addr: u64, len: u64, now: Cycle) {
         self.for_each_segment(addr, len, |m, group, slot| {
             m.stats.isa_allocs.inc();
+            m.trace.push(now, EventKind::IsaAlloc, group);
             m.isa_alloc_segment(group, slot, now);
         });
     }
@@ -285,6 +295,7 @@ impl RemapMachine {
     pub(crate) fn isa_free_range(&mut self, addr: u64, len: u64, now: Cycle) {
         self.for_each_segment(addr, len, |m, group, slot| {
             m.stats.isa_frees.inc();
+            m.trace.push(now, EventKind::IsaFree, group);
             m.isa_free_segment(group, slot, now);
         });
     }
@@ -383,6 +394,7 @@ impl RemapMachine {
             e.swap_homes(0, occupant);
             e.set_transit(0, Some(occupant), done);
             self.stats.isa_swaps.inc();
+            self.trace.push(now, EventKind::IsaSwap, group);
         }
         self.transition(e, group, Mode::Cache, now);
         e.set_cached(None);
@@ -416,6 +428,7 @@ impl RemapMachine {
                 }
                 e.swap_homes(slot, q);
                 self.stats.isa_swaps.inc();
+                self.trace.push(now, EventKind::IsaSwap, group);
                 // The stacked slot's cached copy was displaced by the
                 // remap; drop it (writeback if dirty).
                 self.drop_cached(e, group, now);
@@ -423,7 +436,6 @@ impl RemapMachine {
                 // No other free segment: the group can no longer cache.
                 self.drop_cached(e, group, now);
                 self.transition(e, group, Mode::Pom, now);
-                return;
             }
         } else if e.all_allocated() {
             // Figure 12 box 10: every segment is now live.
@@ -459,6 +471,7 @@ impl RemapMachine {
             e.swap_homes(slot, occupant);
             e.set_transit(slot, Some(occupant), done);
             self.stats.isa_swaps.inc();
+            self.trace.push(now, EventKind::IsaSwap, group);
         }
         self.transition(e, group, Mode::Cache, now);
         e.set_cached(None);
@@ -472,13 +485,15 @@ impl RemapMachine {
             if e.is_dirty() {
                 let seg = self.cfg.segment.bytes() as u32;
                 let stacked_addr = self.geom.slot_addr(group, 0);
-                let victim_home =
-                    self.geom.offchip_rel(self.geom.slot_addr(group, e.physical_of(victim)));
+                let victim_home = self
+                    .geom
+                    .offchip_rel(self.geom.slot_addr(group, e.physical_of(victim)));
                 let done = self
                     .devices
                     .writeback_segment(stacked_addr, victim_home, seg, now);
                 e.set_transit(victim, None, done);
                 self.stats.writebacks.inc();
+                self.trace.push(now, EventKind::Writeback, group);
             }
             e.set_cached(None);
         }
@@ -492,13 +507,19 @@ impl RemapMachine {
         }
         if self.cfg.secure_clear {
             let seg = self.cfg.segment.bytes() as u32;
-            let done =
-                self.devices
-                    .clear_segment(true, self.geom.slot_addr(group, 0), seg, now);
+            let done = self
+                .devices
+                .clear_segment(true, self.geom.slot_addr(group, 0), seg, now);
             e.set_transit(e.logical_in(0), None, done);
             self.stats.clears.inc();
+            self.trace.push(now, EventKind::Clear, group);
         }
         e.set_mode(mode);
+        let kind = match mode {
+            Mode::Cache => EventKind::ModeToCache,
+            Mode::Pom => EventKind::ModeToPom,
+        };
+        self.trace.push(now, kind, group);
     }
 }
 
@@ -633,7 +654,11 @@ mod tests {
         let paddr = m.geom.slot_addr(0, 2);
         let l1 = m.access(paddr, false, 1_000_000);
         assert_eq!(m.stats.fills.value(), 1, "first touch fills, no threshold");
-        assert_eq!(m.stats.stacked_hits.value(), 0, "demand line came from off-chip");
+        assert_eq!(
+            m.stats.stacked_hits.value(),
+            0,
+            "demand line came from off-chip"
+        );
         // Wait out the fill, then re-access: stacked hit.
         let later = 1_000_000 + 10_000_000;
         let l2 = m.access(paddr, false, later);
@@ -729,7 +754,11 @@ mod tests {
         assert_eq!(e.mode(), Mode::Cache, "Opt keeps caching");
         assert!(e.is_allocated(0));
         assert_ne!(e.physical_of(0), 0, "allocated segment moved off-chip");
-        assert_eq!(e.logical_in(0), 4, "stacked slot backed by the free segment");
+        assert_eq!(
+            e.logical_in(0),
+            4,
+            "stacked slot backed by the free segment"
+        );
         assert!(e.check_permutation());
     }
 

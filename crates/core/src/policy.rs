@@ -2,6 +2,7 @@
 //! implements.
 
 use chameleon_os::isa::IsaHook;
+use chameleon_simkit::metrics::EventTrace;
 use chameleon_simkit::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,12 @@ pub trait HmaPolicy: IsaHook {
     /// Current cache/PoM mode census. Architectures without
     /// reconfigurable groups report everything as PoM.
     fn mode_distribution(&self) -> ModeDistribution;
+
+    /// The discrete-event trace (mode transitions, swaps, ISA calls,
+    /// writebacks), if this architecture records one.
+    fn events(&self) -> Option<&EventTrace> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,7 @@ impl HmaPolicy for PomPolicy {
 
     fn reset_stats(&mut self) {
         self.machine.stats = HmaStats::default();
+        self.machine.trace.clear();
         self.machine.devices.stacked.reset_stats();
         self.machine.devices.offchip.reset_stats();
     }
@@ -101,6 +102,10 @@ impl HmaPolicy for PomPolicy {
 
     fn mode_distribution(&self) -> ModeDistribution {
         self.machine.mode_distribution()
+    }
+
+    fn events(&self) -> Option<&chameleon_simkit::metrics::EventTrace> {
+        Some(&self.machine.trace)
     }
 }
 
@@ -146,7 +151,10 @@ mod tests {
             now += 10_000_000;
             p.access(offchip_addr, false, now);
         }
-        assert!(p.stats().stacked_hits.value() > 0, "hot segment was promoted");
+        assert!(
+            p.stats().stacked_hits.value() > 0,
+            "hot segment was promoted"
+        );
         assert_eq!(p.stats().swaps.value(), 1);
     }
 

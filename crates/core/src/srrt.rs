@@ -406,7 +406,7 @@ mod tests {
         assert!(!e.note_offchip_access(3, 3)); // cand=3, count=1
         assert!(!e.note_offchip_access(3, 3)); // count=2
         assert!(e.note_offchip_access(3, 3)); // count=3 -> promote
-        // Counter reset after promotion.
+                                              // Counter reset after promotion.
         assert!(!e.note_offchip_access(3, 3));
     }
 
@@ -417,7 +417,7 @@ mod tests {
         e.note_offchip_access(4, 10); // count=0
         e.note_offchip_access(4, 10); // cand=4 count=1
         assert!(!e.note_offchip_access(3, 10)); // count=0
-        // Stacked hits decay the counter.
+                                                // Stacked hits decay the counter.
         e.note_offchip_access(4, 10);
         e.note_stacked_access();
         assert!(!e.note_offchip_access(4, 2)); // count back to 1... then 2? promote

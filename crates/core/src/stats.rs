@@ -1,5 +1,6 @@
 //! Statistics every heterogeneous-memory policy reports.
 
+use chameleon_simkit::metrics::{MetricSource, Registry};
 use chameleon_simkit::stats::{Counter, RunningStat};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +69,34 @@ impl HmaStats {
     /// bandwidth (Section VI-B).
     pub fn effective_swaps(&self) -> u64 {
         self.swaps.value() + self.writebacks.value()
+    }
+}
+
+impl MetricSource for HmaStats {
+    fn publish(&self, prefix: &str, reg: &mut Registry) {
+        let c = |reg: &mut Registry, name: &str, counter: &Counter| {
+            reg.set_counter_from(&format!("{prefix}{name}"), counter);
+        };
+        c(reg, "demand_accesses", &self.demand_accesses);
+        c(reg, "stacked_hits", &self.stacked_hits);
+        c(reg, "buffer_hits", &self.buffer_hits);
+        c(reg, "swaps", &self.swaps);
+        c(reg, "isa_swaps", &self.isa_swaps);
+        c(reg, "fills", &self.fills);
+        c(reg, "writebacks", &self.writebacks);
+        c(reg, "llc_writebacks", &self.llc_writebacks);
+        c(reg, "clears", &self.clears);
+        c(reg, "stale_accesses", &self.stale_accesses);
+        c(reg, "isa_allocs", &self.isa_allocs);
+        c(reg, "isa_frees", &self.isa_frees);
+        reg.set_gauge(
+            &format!("{prefix}stacked_hit_rate"),
+            self.stacked_hit_rate(),
+        );
+        reg.set_stat(&format!("{prefix}access_latency"), &self.access_latency);
+        reg.set_stat(&format!("{prefix}stacked_latency"), &self.stacked_latency);
+        reg.set_stat(&format!("{prefix}offchip_latency"), &self.offchip_latency);
+        reg.set_stat(&format!("{prefix}transit_latency"), &self.transit_latency);
     }
 }
 

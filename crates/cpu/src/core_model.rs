@@ -236,7 +236,11 @@ mod tests {
         c.drain();
         // 1000 instructions; the 4-cycle loads complete inside the window,
         // so the total is 1000 plus at most one trailing drain.
-        assert!((1000..=1004).contains(&c.report().cycles), "cycles {}", c.report().cycles);
+        assert!(
+            (1000..=1004).contains(&c.report().cycles),
+            "cycles {}",
+            c.report().cycles
+        );
         assert!(c.report().utilization() > 0.99);
     }
 
@@ -261,7 +265,13 @@ mod tests {
     #[test]
     fn mlp_overlaps_misses() {
         let serial = {
-            let mut c = Core::new(0, CoreConfig { mlp: 1, rob_window: 1000 });
+            let mut c = Core::new(
+                0,
+                CoreConfig {
+                    mlp: 1,
+                    rob_window: 1000,
+                },
+            );
             let mut mem = FixedLatency(300);
             for _ in 0..64 {
                 c.step(Op::Load(0), &mut mem);
@@ -270,7 +280,13 @@ mod tests {
             c.report().cycles
         };
         let parallel = {
-            let mut c = Core::new(0, CoreConfig { mlp: 8, rob_window: 1000 });
+            let mut c = Core::new(
+                0,
+                CoreConfig {
+                    mlp: 8,
+                    rob_window: 1000,
+                },
+            );
             let mut mem = FixedLatency(300);
             for _ in 0..64 {
                 c.step(Op::Load(0), &mut mem);
@@ -288,7 +304,10 @@ mod tests {
     fn rob_window_limits_runahead() {
         // One long miss followed by lots of compute: the core can only
         // run rob_window instructions ahead before stalling.
-        let cfg = CoreConfig { mlp: 8, rob_window: 64 };
+        let cfg = CoreConfig {
+            mlp: 8,
+            rob_window: 64,
+        };
         let mut c = Core::new(0, cfg);
         let mut mem = FixedLatency(10_000);
         c.step(Op::Load(0), &mut mem);
@@ -296,7 +315,11 @@ mod tests {
             c.step(Op::Compute(1), &mut mem);
         }
         // The stall must have occurred at ~64 instructions past the load.
-        assert!(c.clock() >= 10_000, "clock {} should include the miss", c.clock());
+        assert!(
+            c.clock() >= 10_000,
+            "clock {} should include the miss",
+            c.clock()
+        );
         c.drain();
         assert!(c.report().mem_stall_cycles > 9000);
     }
@@ -315,7 +338,13 @@ mod tests {
 
     #[test]
     fn running_utilization_ignores_memory_stalls() {
-        let mut c = Core::new(0, CoreConfig { mlp: 1, rob_window: 8 });
+        let mut c = Core::new(
+            0,
+            CoreConfig {
+                mlp: 1,
+                rob_window: 8,
+            },
+        );
         let mut mem = FixedLatency(1000);
         for _ in 0..10 {
             c.step(Op::Load(0), &mut mem);
@@ -332,6 +361,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "mlp")]
     fn zero_mlp_rejected() {
-        Core::new(0, CoreConfig { mlp: 0, rob_window: 1 });
+        Core::new(
+            0,
+            CoreConfig {
+                mlp: 0,
+                rob_window: 1,
+            },
+        );
     }
 }

@@ -34,7 +34,11 @@ impl RunReport {
         if self.cores.is_empty() {
             return 0.0;
         }
-        self.cores.iter().map(|c| c.running_utilization()).sum::<f64>() / self.cores.len() as f64
+        self.cores
+            .iter()
+            .map(|c| c.running_utilization())
+            .sum::<f64>()
+            / self.cores.len() as f64
     }
 
     /// The longest core runtime (makespan of the workload).

@@ -101,7 +101,10 @@ mod tests {
         let d = decoder();
         let a = d.decode(0x10_0000);
         let b = d.decode(0x10_0000 + 64);
-        assert_eq!((a.channel, a.rank, a.bank, a.row), (b.channel, b.rank, b.bank, b.row));
+        assert_eq!(
+            (a.channel, a.rank, a.bank, a.row),
+            (b.channel, b.rank, b.bank, b.row)
+        );
         assert_eq!(b.offset, a.offset + 64);
     }
 
@@ -129,7 +132,11 @@ mod tests {
             assert!(a.channel < cfg.channels);
             assert!(a.rank < cfg.ranks_per_channel);
             assert!(a.bank < cfg.banks_per_rank);
-            assert!(a.row < cfg.rows_per_bank() * cfg.channels as u64 * 2, "row {}", a.row);
+            assert!(
+                a.row < cfg.rows_per_bank() * cfg.channels as u64 * 2,
+                "row {}",
+                a.row
+            );
             assert!(a.offset < cfg.row_bytes.bytes() as u32);
             assert!(a.flat_bank(&cfg) < cfg.total_banks() as usize);
         }

@@ -125,7 +125,7 @@ impl DramConfig {
     pub fn rows_per_bank(&self) -> u64 {
         let per_bank = self.capacity.bytes() / self.total_banks() as u64;
         assert!(
-            per_bank % self.row_bytes.bytes() == 0,
+            per_bank.is_multiple_of(self.row_bytes.bytes()),
             "capacity {} not divisible into rows of {}",
             self.capacity,
             self.row_bytes
@@ -152,7 +152,10 @@ impl DramConfig {
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if !self.row_bytes.is_power_of_two() {
-            return Err(format!("row size {} must be a power of two", self.row_bytes));
+            return Err(format!(
+                "row size {} must be a power of two",
+                self.row_bytes
+            ));
         }
         for (what, v) in [
             ("channels", self.channels),
@@ -163,11 +166,14 @@ impl DramConfig {
                 return Err(format!("{what} must be a non-zero power of two, got {v}"));
             }
         }
-        if self.bus_bits == 0 || self.bus_bits % 8 != 0 {
-            return Err(format!("bus width must be a multiple of 8 bits, got {}", self.bus_bits));
+        if self.bus_bits == 0 || !self.bus_bits.is_multiple_of(8) {
+            return Err(format!(
+                "bus width must be a multiple of 8 bits, got {}",
+                self.bus_bits
+            ));
         }
         let row_total = self.row_bytes.bytes() * self.total_banks() as u64;
-        if self.capacity.bytes() < row_total || self.capacity.bytes() % row_total != 0 {
+        if self.capacity.bytes() < row_total || !self.capacity.bytes().is_multiple_of(row_total) {
             return Err(format!(
                 "capacity {} must be a multiple of one row across all banks ({row_total} bytes)",
                 self.capacity

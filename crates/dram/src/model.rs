@@ -166,7 +166,14 @@ impl DramModel {
         self.do_access(addr, size, op, now, true)
     }
 
-    fn do_access(&mut self, addr: u64, size: u32, op: MemOp, now: Cycle, bulk: bool) -> AccessOutcome {
+    fn do_access(
+        &mut self,
+        addr: u64,
+        size: u32,
+        op: MemOp,
+        now: Cycle,
+        bulk: bool,
+    ) -> AccessOutcome {
         assert!(size > 0, "zero-sized DRAM access");
         let loc = self.decoder.decode(addr);
         let ch = loc.channel as usize;
@@ -244,7 +251,8 @@ impl DramModel {
             let banks_per_channel = (cfg.ranks_per_channel * cfg.banks_per_rank) as usize;
             // Banks are laid out flat as ((channel*ranks + rank)*banks + bank).
             for rank in 0..cfg.ranks_per_channel as usize {
-                let base = (ch * cfg.ranks_per_channel as usize + rank) * cfg.banks_per_rank as usize;
+                let base =
+                    (ch * cfg.ranks_per_channel as usize + rank) * cfg.banks_per_rank as usize;
                 for b in 0..cfg.banks_per_rank as usize {
                     self.banks[base + b].refresh_until(until);
                 }
@@ -331,7 +339,10 @@ mod tests {
         let bw = m.stats().achieved_bandwidth_gbps(last_done, 3600.0);
         let peak = m.config().peak_bandwidth_gbps();
         assert!(bw <= peak + 1e-6, "achieved {bw} > peak {peak}");
-        assert!(bw > peak * 0.5, "queued stream should approach peak, got {bw} of {peak}");
+        assert!(
+            bw > peak * 0.5,
+            "queued stream should approach peak, got {bw} of {peak}"
+        );
     }
 
     #[test]

@@ -84,12 +84,7 @@ impl EnergyCounter {
     }
 
     /// Total energy (dynamic + background) in millijoules.
-    pub fn total_energy_mj(
-        &self,
-        p: &EnergyParams,
-        elapsed_cycles: u64,
-        cpu_mhz: f64,
-    ) -> f64 {
+    pub fn total_energy_mj(&self, p: &EnergyParams, elapsed_cycles: u64, cpu_mhz: f64) -> f64 {
         self.dynamic_energy_mj(p) + Self::background_energy_mj(p, elapsed_cycles, cpu_mhz)
     }
 }

@@ -220,7 +220,11 @@ impl ChannelScheduler {
         let use_writes = self.read_q.is_empty() || (self.draining && !self.write_q.is_empty());
 
         let (queue_is_writes, idx) = loop {
-            let queue: &[Request] = if use_writes { &self.write_q } else { &self.read_q };
+            let queue: &[Request] = if use_writes {
+                &self.write_q
+            } else {
+                &self.read_q
+            };
             if let Some(i) = Self::select(queue, &self.banks, self.time) {
                 break (use_writes, i);
             }

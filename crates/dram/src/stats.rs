@@ -1,5 +1,6 @@
 //! Statistics collected by a [`crate::DramModel`].
 
+use chameleon_simkit::metrics::{MetricSource, Registry};
 use chameleon_simkit::stats::{Counter, RunningStat};
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,23 @@ impl DramStats {
     }
 }
 
+impl MetricSource for DramStats {
+    fn publish(&self, prefix: &str, reg: &mut Registry) {
+        reg.set_counter_from(&format!("{prefix}reads"), &self.reads);
+        reg.set_counter_from(&format!("{prefix}writes"), &self.writes);
+        reg.set_counter_from(&format!("{prefix}row_hits"), &self.row_hits);
+        reg.set_counter_from(&format!("{prefix}row_closed"), &self.row_closed);
+        reg.set_counter_from(&format!("{prefix}row_conflicts"), &self.row_conflicts);
+        reg.set_counter_from(
+            &format!("{prefix}bytes_transferred"),
+            &self.bytes_transferred,
+        );
+        reg.set_counter_from(&format!("{prefix}refreshes"), &self.refreshes);
+        reg.set_gauge(&format!("{prefix}row_hit_rate"), self.row_hit_rate());
+        reg.set_stat(&format!("{prefix}latency"), &self.latency);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,7 +85,7 @@ mod tests {
     fn bandwidth_math() {
         let mut s = DramStats::default();
         s.bytes_transferred.add(3_600_000_000); // 3.6 GB
-        // 3.6e9 cycles at 3600 MHz = 1 second.
+                                                // 3.6e9 cycles at 3600 MHz = 1 second.
         let bw = s.achieved_bandwidth_gbps(3_600_000_000, 3600.0);
         assert!((bw - 3.6).abs() < 1e-9);
         assert_eq!(s.achieved_bandwidth_gbps(0, 3600.0), 0.0);

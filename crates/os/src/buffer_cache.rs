@@ -34,7 +34,10 @@ impl BufferCache {
     ///
     /// Panics if `max_bytes` is smaller than one page.
     pub fn new(kernel: &mut OsKernel, max_bytes: u64) -> Self {
-        assert!(max_bytes >= PAGE_SIZE, "buffer cache needs at least one page");
+        assert!(
+            max_bytes >= PAGE_SIZE,
+            "buffer cache needs at least one page"
+        );
         let capacity_pages = max_bytes / PAGE_SIZE;
         let owner = kernel.spawn(chameleon_simkit::mem::ByteSize::bytes_exact(
             capacity_pages * PAGE_SIZE,
@@ -156,7 +159,11 @@ mod tests {
         let released = bc.shrink(&mut os, 4, 0, &mut hook).unwrap();
         assert_eq!(released, 4);
         assert_eq!(os.total_free_bytes(), free_before + 4 * PAGE_SIZE);
-        assert_eq!(hook.frees.len(), 4, "releases raise ISA-Free (Section V-D3)");
+        assert_eq!(
+            hook.frees.len(),
+            4,
+            "releases raise ISA-Free (Section V-D3)"
+        );
         assert_eq!(bc.cached_pages(), 6);
     }
 

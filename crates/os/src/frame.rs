@@ -144,8 +144,11 @@ impl BuddyAllocator {
     pub fn new(base: u64, len: u64) -> Self {
         let block = FRAME_SIZE << MAX_ORDER;
         assert!(len > 0, "empty allocator region");
-        assert!(base % block == 0, "base must be 2MB-aligned");
-        assert!(len % block == 0, "length must be a multiple of 2MB");
+        assert!(base.is_multiple_of(block), "base must be 2MB-aligned");
+        assert!(
+            len.is_multiple_of(block),
+            "length must be a multiple of 2MB"
+        );
         let mut a = Self {
             base,
             len,
@@ -190,7 +193,9 @@ impl BuddyAllocator {
                 let last = list.len() - 1;
                 list.swap(i, last);
             }
-            let addr = self.free_lists[order as usize].pop().expect("checked non-empty");
+            let addr = self.free_lists[order as usize]
+                .pop()
+                .expect("checked non-empty");
             // Entries are lazily invalidated when merged away.
             if self.free_set.remove(&(order, addr)) {
                 return Some(addr);
@@ -244,7 +249,10 @@ impl BuddyAllocator {
             addr >= self.base && addr + size <= self.base + self.len,
             "free of {addr:#x} outside region"
         );
-        assert!((addr - self.base) % size == 0, "misaligned free {addr:#x} order {order}");
+        assert!(
+            (addr - self.base).is_multiple_of(size),
+            "misaligned free {addr:#x} order {order}"
+        );
         // Double-free detection: the block (or any enclosing block it may
         // have merged into) must not already be free.
         for o in order..=MAX_ORDER {
@@ -312,7 +320,7 @@ impl BuddyAllocator {
     ///
     /// Panics if `addr` is outside the region or not page-aligned.
     pub fn alloc_exact_page(&mut self, addr: u64) -> bool {
-        assert!(addr % FRAME_SIZE == 0, "unaligned frame {addr:#x}");
+        assert!(addr.is_multiple_of(FRAME_SIZE), "unaligned frame {addr:#x}");
         assert!(
             addr >= self.base && addr < self.base + self.len,
             "frame {addr:#x} outside region"
@@ -422,7 +430,10 @@ mod tests {
         let mut b = BuddyAllocator::new(0, 8 << 20);
         let h = b.alloc(9).unwrap();
         let s = b.alloc(0).unwrap();
-        assert!(s < h || s >= h + (2 << 20), "small frame must not overlap huge page");
+        assert!(
+            s < h || s >= h + (2 << 20),
+            "small frame must not overlap huge page"
+        );
         b.free(h, 9);
         b.free(s, 0);
         assert_eq!(b.free_bytes(), 8 << 20);

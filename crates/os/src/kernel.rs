@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use chameleon_simkit::mem::ByteSize;
+use chameleon_simkit::metrics::{EventKind, EventTrace, Registry};
 use chameleon_simkit::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -139,6 +140,8 @@ pub struct OsKernel {
     ledger: Option<GroupLedger>,
     ssd: SsdModel,
     stats: OsStats,
+    /// Ring buffer of fault events for the metrics timeline.
+    trace: EventTrace,
 }
 
 impl OsKernel {
@@ -179,6 +182,7 @@ impl OsKernel {
             ledger: cfg.group_placement.map(GroupLedger::new),
             ssd: SsdModel::new(cfg.ssd),
             stats: OsStats::default(),
+            trace: EventTrace::new(Registry::DEFAULT_TRACE_CAPACITY),
         }
     }
 
@@ -201,7 +205,13 @@ impl OsKernel {
     /// used between warm-up and measurement.
     pub fn reset_stats(&mut self) {
         self.stats = OsStats::default();
+        self.trace.clear();
         self.ssd = SsdModel::new(self.cfg.ssd);
+    }
+
+    /// The fault-event trace for the metrics timeline.
+    pub fn events(&self) -> &EventTrace {
+        &self.trace
     }
 
     /// The swap device (telemetry).
@@ -318,6 +328,8 @@ impl OsKernel {
             PageState::Untouched => {
                 let paddr = self.fault_in(pid, vaddr, now, hook);
                 self.stats.minor_faults.inc();
+                self.trace
+                    .push(now, EventKind::MinorFault, PageTable::vpn(vaddr));
                 self.stats
                     .fault_stall_cycles
                     .add(self.cfg.minor_fault_latency);
@@ -331,6 +343,8 @@ impl OsKernel {
                 let paddr = self.fault_in(pid, vaddr, now, hook);
                 let stall = self.ssd.read_page(now);
                 self.stats.major_faults.inc();
+                self.trace
+                    .push(now, EventKind::MajorFault, PageTable::vpn(vaddr));
                 self.stats.fault_stall_cycles.add(stall);
                 Ok(TouchOutcome {
                     paddr,
@@ -401,7 +415,10 @@ impl OsKernel {
         }
         self.stats.allocs.inc();
         // Remap.
-        let proc = self.processes.get_mut(&pid).expect("reverse map is consistent");
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .expect("reverse map is consistent");
         proc.table.map(vpn * PAGE_SIZE, new_frame);
         self.reverse.remove(&frame_base);
         self.reverse.insert(new_frame, (pid, vpn));
@@ -418,9 +435,7 @@ impl OsKernel {
 
     /// The `(pid, vpn)` currently mapped at a physical page, if any.
     pub fn reverse_lookup(&self, page_paddr: u64) -> Option<(Pid, u64)> {
-        self.reverse
-            .get(&(page_paddr & !(PAGE_SIZE - 1)))
-            .copied()
+        self.reverse.get(&(page_paddr & !(PAGE_SIZE - 1))).copied()
     }
 
     fn fault_in(&mut self, pid: Pid, vaddr: u64, now: Cycle, hook: &mut dyn IsaHook) -> u64 {
@@ -533,7 +548,7 @@ impl OsKernel {
             .into_iter()
             .map(|f| (ledger.score_frame(f), f))
             .collect();
-        scored.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        scored.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         for (_, f) in scored {
             let ok = match self.map.node_of(f) {
                 NodeId::Stacked => self
@@ -615,8 +630,16 @@ impl OsKernel {
                 self.alloc_rr += 1;
                 let sf = self.free_fraction(NodeId::Stacked);
                 let of = self.free_fraction(NodeId::Offchip);
-                let first = if sf > of { NodeId::Stacked } else { NodeId::Offchip };
-                let second = if sf > of { NodeId::Offchip } else { NodeId::Stacked };
+                let first = if sf > of {
+                    NodeId::Stacked
+                } else {
+                    NodeId::Offchip
+                };
+                let second = if sf > of {
+                    NodeId::Offchip
+                } else {
+                    NodeId::Stacked
+                };
                 self.alloc_order_on(first, order)
                     .or_else(|| self.alloc_order_on(second, order))
             }
@@ -636,7 +659,10 @@ impl OsKernel {
                 Some(a) => (a.free_bytes(), a.total_bytes()),
                 None => return -1.0,
             },
-            NodeId::Offchip => (self.offchip_alloc.free_bytes(), self.offchip_alloc.total_bytes()),
+            NodeId::Offchip => (
+                self.offchip_alloc.free_bytes(),
+                self.offchip_alloc.total_bytes(),
+            ),
         };
         free as f64 / total as f64
     }
@@ -694,7 +720,11 @@ mod tests {
         for p in 0..pages {
             os.touch(pid, p * PAGE_SIZE, true, 0, &mut hook).unwrap();
         }
-        assert_eq!(os.stats().major_faults.value(), 0, "first pass is all minor");
+        assert_eq!(
+            os.stats().major_faults.value(),
+            0,
+            "first pass is all minor"
+        );
         assert!(os.stats().swap_outs.value() > 0, "capacity pressure evicts");
         // Second pass re-touches swapped-out pages: major faults.
         for p in 0..pages {
@@ -709,7 +739,9 @@ mod tests {
         let pid = os.spawn(ByteSize::mib(8));
         for round in 0..3 {
             for p in 0..(8 << 20) / PAGE_SIZE {
-                let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+                let t = os
+                    .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                    .unwrap();
                 if round > 0 {
                     assert_eq!(t.fault, None);
                 }
@@ -739,7 +771,8 @@ mod tests {
         let pid = os.spawn(ByteSize::mib(1));
         assert_eq!(os.rss(pid).unwrap(), 0);
         os.touch(pid, 0, false, 0, &mut NullHook).unwrap();
-        os.touch(pid, 5 * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+        os.touch(pid, 5 * PAGE_SIZE, false, 0, &mut NullHook)
+            .unwrap();
         assert_eq!(os.rss(pid).unwrap(), 2 * PAGE_SIZE);
     }
 
@@ -755,7 +788,9 @@ mod tests {
         assert_eq!(os.visible_capacity(), ByteSize::mib(8));
         let pid = os.spawn(ByteSize::mib(1));
         for p in 0..64 {
-            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            let t = os
+                .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
             assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Offchip);
         }
     }
@@ -770,7 +805,9 @@ mod tests {
         let pid = os.spawn(ByteSize::mib(6));
         // Touch 4MiB: should all land in stacked.
         for p in 0..(4 << 20) / PAGE_SIZE {
-            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            let t = os
+                .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
             assert_eq!(os.memory_map().node_of(t.paddr), NodeId::Stacked);
         }
         // Next page spills to off-chip.
@@ -787,7 +824,9 @@ mod tests {
         let mut stacked = 0;
         let mut offchip = 0;
         for p in 0..(6 << 20) / PAGE_SIZE {
-            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            let t = os
+                .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
             match os.memory_map().node_of(t.paddr) {
                 NodeId::Stacked => stacked += 1,
                 NodeId::Offchip => offchip += 1,
@@ -831,7 +870,8 @@ mod tests {
         let pid = os.spawn(ByteSize::mib(6));
         // Fill stacked completely, spilling one page to off-chip.
         for p in 0..=(4 << 20) / PAGE_SIZE {
-            os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
         }
         let off_paddr = os.peek_translate(pid, 4 << 20).unwrap();
         assert_eq!(os.memory_map().node_of(off_paddr), NodeId::Offchip);
@@ -854,7 +894,9 @@ mod tests {
         os.touch(pid, 0, false, 0, &mut hook).unwrap();
         assert_eq!(hook.allocs, vec![(hook.allocs[0].0, 2 << 20)]);
         // The rest of the huge region is already resident.
-        let t = os.touch(pid, (2 << 20) - PAGE_SIZE, false, 0, &mut hook).unwrap();
+        let t = os
+            .touch(pid, (2 << 20) - PAGE_SIZE, false, 0, &mut hook)
+            .unwrap();
         assert_eq!(t.fault, None);
         assert_eq!(os.rss(pid).unwrap(), 2 << 20);
     }
@@ -878,7 +920,8 @@ mod tests {
             let pid = os.spawn(ByteSize::mib(9));
             // Allocate 90% of physical memory.
             for p in 0..(9 << 20) / PAGE_SIZE {
-                os.touch(pid, p * PAGE_SIZE, true, 0, &mut NullHook).unwrap();
+                os.touch(pid, p * PAGE_SIZE, true, 0, &mut NullHook)
+                    .unwrap();
             }
             os
         };

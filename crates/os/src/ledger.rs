@@ -172,7 +172,11 @@ mod tests {
         let mut l = ledger();
         for k in 0..6u64 {
             // All six segments of group 0: stacked seg 0 + off-chip j=0,8,16,24,32.
-            let addr = if k == 0 { 0 } else { 8 * 2048 + ((k - 1) * 8) * 2048 };
+            let addr = if k == 0 {
+                0
+            } else {
+                8 * 2048 + ((k - 1) * 8) * 2048
+            };
             l.on_alloc(addr, 2048);
         }
         assert_eq!(l.free_in_group(0), 0);

@@ -202,7 +202,9 @@ mod tests {
         let pid = os.spawn(ByteSize::mib(1));
         // Fault in 16 pages (land off-chip under SlowFirst) and hammer them.
         for p in 0..16u64 {
-            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            let t = os
+                .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
             for _ in 0..10 {
                 numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
             }
@@ -225,13 +227,19 @@ mod tests {
         // Footprint bigger than the 2MiB stacked node.
         let pid = os.spawn(ByteSize::mib(4));
         for p in 0..(4 << 20) / PAGE_SIZE {
-            let t = os.touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook).unwrap();
+            let t = os
+                .touch(pid, p * PAGE_SIZE, false, 0, &mut NullHook)
+                .unwrap();
             numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
             numa.record_access(t.paddr, os.memory_map().node_of(t.paddr));
         }
         let report = numa.end_epoch(&mut os, &mut NullHook, 0);
         assert!(report.enomem > 0, "stacked node must fill up");
-        assert_eq!(report.migrated, (2 << 20) / PAGE_SIZE, "exactly the stacked capacity");
+        assert_eq!(
+            report.migrated,
+            (2 << 20) / PAGE_SIZE,
+            "exactly the stacked capacity"
+        );
     }
 
     #[test]
@@ -272,7 +280,11 @@ mod tests {
                 numa.record_access(t.paddr, NodeId::Offchip);
             }
             let report = numa.end_epoch(&mut os, &mut NullHook, 0);
-            assert_eq!(report.migrated > 0, expect_migrations, "threshold {threshold}");
+            assert_eq!(
+                report.migrated > 0,
+                expect_migrations,
+                "threshold {threshold}"
+            );
         }
     }
 

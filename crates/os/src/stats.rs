@@ -1,5 +1,6 @@
 //! OS-level statistics.
 
+use chameleon_simkit::metrics::{MetricSource, Registry};
 use chameleon_simkit::stats::Counter;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,23 @@ impl OsStats {
     /// Total faults of both kinds.
     pub fn total_faults(&self) -> u64 {
         self.minor_faults.value() + self.major_faults.value()
+    }
+}
+
+impl MetricSource for OsStats {
+    fn publish(&self, prefix: &str, reg: &mut Registry) {
+        reg.set_counter_from(&format!("{prefix}minor_faults"), &self.minor_faults);
+        reg.set_counter_from(&format!("{prefix}major_faults"), &self.major_faults);
+        reg.set_counter_from(&format!("{prefix}swap_outs"), &self.swap_outs);
+        reg.set_counter_from(&format!("{prefix}allocs"), &self.allocs);
+        reg.set_counter_from(&format!("{prefix}frees"), &self.frees);
+        reg.set_counter_from(&format!("{prefix}migrations"), &self.migrations);
+        reg.set_counter_from(&format!("{prefix}migration_enomem"), &self.migration_enomem);
+        reg.set_counter_from(
+            &format!("{prefix}fault_stall_cycles"),
+            &self.fault_stall_cycles,
+        );
+        reg.set_counter(&format!("{prefix}total_faults"), self.total_faults());
     }
 }
 

@@ -52,7 +52,10 @@ impl SsdModel {
     /// Panics if the configuration is degenerate.
     pub fn new(cfg: SsdConfig) -> Self {
         assert!(cfg.page_latency > 0, "page latency must be positive");
-        assert!(cfg.service_interval > 0, "service interval must be positive");
+        assert!(
+            cfg.service_interval > 0,
+            "service interval must be positive"
+        );
         Self {
             cfg,
             next_free: 0,

@@ -8,6 +8,8 @@
 //! * an ordered event queue ([`events::EventQueue`]),
 //! * statistics primitives ([`stats::Counter`], [`stats::RunningStat`],
 //!   [`stats::Histogram`], [`stats::Ratio`]),
+//! * the metrics registry and event trace ([`metrics::Registry`],
+//!   [`metrics::EventTrace`]) that experiment runners export from,
 //! * byte-size helpers ([`mem::ByteSize`]).
 //!
 //! # Example
@@ -28,6 +30,7 @@
 
 pub mod events;
 pub mod mem;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod timeline;

@@ -51,9 +51,13 @@ impl ByteSize {
 
     /// Integer division by another size (e.g. capacity / segment size).
     ///
+    /// Also available through the `/` operator; the inherent method stays
+    /// callable in const-adjacent and method-chaining positions.
+    ///
     /// # Panics
     ///
     /// Panics if `rhs` is zero bytes.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: ByteSize) -> u64 {
         assert!(rhs.0 > 0, "division by zero-sized ByteSize");
         self.0 / rhs.0

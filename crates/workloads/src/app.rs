@@ -188,7 +188,11 @@ mod tests {
     #[test]
     fn stream_fraction_bounded() {
         for a in AppSpec::table2() {
-            assert!(a.stream_fraction > 0.0 && a.stream_fraction <= 0.95, "{}", a.name);
+            assert!(
+                a.stream_fraction > 0.0 && a.stream_fraction <= 0.95,
+                "{}",
+                a.name
+            );
             assert!(a.mem_per_kilo >= 60 && a.mem_per_kilo <= 400, "{}", a.name);
         }
     }

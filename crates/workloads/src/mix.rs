@@ -146,8 +146,10 @@ mod tests {
         let b = WorkloadMix::random(12, 5);
         assert_eq!(a, b);
         let c = WorkloadMix::random(12, 6);
-        assert_ne!(a.apps.iter().map(|x| &x.name).collect::<Vec<_>>(),
-                   c.apps.iter().map(|x| &x.name).collect::<Vec<_>>());
+        assert_ne!(
+            a.apps.iter().map(|x| &x.name).collect::<Vec<_>>(),
+            c.apps.iter().map(|x| &x.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ mod tests {
         let pressured = s.pressure_minutes(ByteSize::gib(24), ByteSize::gib(2));
         assert!(pressured > 0, "the paper marks several <2GB-free regions");
         let relaxed = s.pressure_minutes(ByteSize::gib(24), ByteSize::gib(6));
-        assert!(relaxed > pressured, "more minutes fall under a looser threshold");
+        assert!(
+            relaxed > pressured,
+            "more minutes fall under a looser threshold"
+        );
     }
 
     #[test]

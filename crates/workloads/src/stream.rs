@@ -83,8 +83,7 @@ impl AppStream {
         // set is proportionally smaller — without this, their sparse
         // traffic never trains the promotion machinery.
         let intensity = (spec.llc_mpki / 32.0).clamp(0.05, 1.0);
-        let medium_bytes =
-            (((footprint / 56) as f64 * intensity) as u64).clamp(128 << 10, 1 << 20);
+        let medium_bytes = (((footprint / 56) as f64 * intensity) as u64).clamp(128 << 10, 1 << 20);
         let medium_lines = (medium_bytes / 64).min(footprint_lines);
         let medium_base = rng.below(footprint_lines.saturating_sub(medium_lines).max(1));
         Self {
@@ -125,9 +124,11 @@ impl AppStream {
                 self.hot_base = self
                     .rng
                     .below(self.footprint_lines.saturating_sub(self.hot_lines).max(1));
-                self.medium_base = self
-                    .rng
-                    .below(self.footprint_lines.saturating_sub(self.medium_lines).max(1));
+                self.medium_base = self.rng.below(
+                    self.footprint_lines
+                        .saturating_sub(self.medium_lines)
+                        .max(1),
+                );
             }
         }
         let addr = if self.rng.chance(self.stream_fraction) {

@@ -13,7 +13,9 @@ use chameleon::workloads::AppSpec;
 use chameleon::{Architecture, ScaledParams, System};
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "stream".to_owned());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "stream".to_owned());
     let Some(spec) = AppSpec::by_name(&app) else {
         eprintln!("unknown application {app:?}");
         std::process::exit(2);

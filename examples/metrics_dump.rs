@@ -1,0 +1,24 @@
+//! Metrics-registry demo: run a small deterministic Chameleon-Opt
+//! workload and dump the full `SystemReport` — final aggregates, the
+//! per-epoch timeline and the discrete-event trace — as JSON on stdout.
+//!
+//! ```text
+//! cargo run --release --example metrics_dump > report.json
+//! ```
+//!
+//! The committed golden fixture under `results/fixtures/` is produced by
+//! exactly this run; regenerate it here after an intentional schema
+//! change.
+
+use chameleon::{Architecture, ScaledParams, System};
+
+fn main() {
+    let params = ScaledParams::tiny();
+    let mut system = System::new(Architecture::ChameleonOpt, &params);
+    system.set_epoch_accesses(500);
+    let streams = system.spawn_rate_workload("mcf", 30_000, 1).unwrap();
+    system.prefault_all().unwrap();
+    system.reset_measurement();
+    let report = system.run(streams);
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+}

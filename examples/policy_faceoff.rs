@@ -11,7 +11,9 @@ use chameleon::workloads::AppSpec;
 use chameleon::{Architecture, ScaledParams, System};
 
 fn main() {
-    let app = std::env::args().nth(1).unwrap_or_else(|| "bwaves".to_owned());
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bwaves".to_owned());
     if AppSpec::by_name(&app).is_none() {
         eprintln!("unknown application {app:?}; pick one of:");
         for spec in AppSpec::table2() {

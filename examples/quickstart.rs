@@ -11,10 +11,7 @@ fn main() {
     let params = ScaledParams::laptop();
     println!(
         "system: {} cores, {} stacked + {} off-chip, {} segments",
-        params.cores,
-        params.hma.stacked.capacity,
-        params.hma.offchip.capacity,
-        params.hma.segment
+        params.cores, params.hma.stacked.capacity, params.hma.offchip.capacity, params.hma.segment
     );
 
     for arch in [

@@ -112,9 +112,7 @@ impl Architecture {
     /// Builds the hardware policy.
     pub fn build_policy(&self, hma: &HmaConfig) -> Box<dyn HmaPolicy> {
         match self {
-            Architecture::FlatSmall => {
-                Box::new(FlatPolicy::new(hma.clone(), hma.offchip.capacity))
-            }
+            Architecture::FlatSmall => Box::new(FlatPolicy::new(hma.clone(), hma.offchip.capacity)),
             Architecture::FlatLarge => Box::new(FlatPolicy::new(
                 hma.clone(),
                 ByteSize::bytes_exact(hma.offchip.capacity.bytes() + hma.stacked.capacity.bytes()),
@@ -182,7 +180,9 @@ mod tests {
 
     #[test]
     fn autonuma_threshold_parsed() {
-        let cfg = Architecture::AutoNuma { threshold_pct: 90 }.autonuma().unwrap();
+        let cfg = Architecture::AutoNuma { threshold_pct: 90 }
+            .autonuma()
+            .unwrap();
         assert!((cfg.threshold - 0.9).abs() < 1e-12);
         assert!(Architecture::Pom.autonuma().is_none());
     }

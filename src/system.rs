@@ -1,11 +1,13 @@
 //! The full simulated system: cores → caches → OS translation →
 //! heterogeneous memory architecture.
 
-use chameleon_cache::{Hierarchy, HitLevel};
+use chameleon_cache::{CacheStats, Hierarchy, HitLevel};
 use chameleon_core::policy::{HmaPolicy, ModeDistribution};
 use chameleon_cpu::{MemorySystem, MultiCore, Reply, RunReport};
 use chameleon_os::numa::{AutoNuma, EpochReport};
 use chameleon_os::{OsConfig, OsError, OsKernel, Pid};
+use chameleon_simkit::metrics::{MetricSource, MetricsExport, Registry, TraceEvent};
+use chameleon_simkit::Cycle;
 use chameleon_workloads::{AppSpec, AppStream, WorkloadMix};
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +45,11 @@ pub struct SystemReport {
     pub minor_faults: u64,
     /// LLC misses per kilo-instruction (Table II).
     pub llc_mpki: f64,
+    /// Full metrics-registry export: final aggregates, the per-epoch
+    /// timeline, and the discrete-event trace. Absent (default) in
+    /// reports produced before the registry existed.
+    #[serde(default)]
+    pub metrics: MetricsExport,
 }
 
 /// A complete simulated machine for one architecture.
@@ -59,6 +66,7 @@ pub struct System {
     epoch_accesses: u64,
     accesses_since_epoch: u64,
     workload: String,
+    metrics: Registry,
 }
 
 impl System {
@@ -72,8 +80,7 @@ impl System {
                     segment_bytes: hma.segment.bytes(),
                     stacked_segments: hma.stacked.capacity.bytes() / hma.segment.bytes(),
                     stacked_bytes: hma.stacked.capacity.bytes(),
-                    slots_per_group: (hma.offchip.capacity.bytes()
-                        / hma.stacked.capacity.bytes()
+                    slots_per_group: (hma.offchip.capacity.bytes() / hma.stacked.capacity.bytes()
                         + 1) as u8,
                 }
             });
@@ -106,6 +113,7 @@ impl System {
             epoch_accesses: 20_000,
             accesses_since_epoch: 0,
             workload: String::new(),
+            metrics: Registry::default(),
         }
     }
 
@@ -127,6 +135,54 @@ impl System {
     /// The cache hierarchy.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
+    }
+
+    /// The metrics registry (final aggregates plus the epoch timeline
+    /// accumulated so far). [`SystemReport::metrics`] carries its export.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Publishes every component's statistics into the registry under the
+    /// standard prefixes (`hma.`, `dram.stacked.`, `dram.offchip.`,
+    /// `cache.l1.`/`l2.`/`l3.`, `os.`).
+    fn publish_metrics(
+        reg: &mut Registry,
+        policy: &dyn HmaPolicy,
+        hierarchy: &Hierarchy,
+        os: &OsKernel,
+        cores: usize,
+    ) {
+        policy.stats().publish("hma.", reg);
+        let mode = policy.mode_distribution();
+        reg.set_counter("hma.mode.cache_groups", mode.cache_groups);
+        reg.set_counter("hma.mode.pom_groups", mode.pom_groups);
+        reg.set_gauge("hma.mode.cache_fraction", mode.cache_fraction());
+        let devices = policy.devices();
+        devices.stacked.stats().publish("dram.stacked.", reg);
+        devices.offchip.stats().publish("dram.offchip.", reg);
+        let mut l1 = CacheStats::default();
+        let mut l2 = CacheStats::default();
+        for core in 0..cores {
+            l1.merge(hierarchy.l1(core).stats());
+            l2.merge(hierarchy.l2(core).stats());
+        }
+        l1.publish("cache.l1.", reg);
+        l2.publish("cache.l2.", reg);
+        hierarchy.l3().stats().publish("cache.l3.", reg);
+        os.stats().publish("os.", reg);
+    }
+
+    /// Publishes current values and closes a metrics epoch at `now`.
+    fn end_metrics_epoch(&mut self, now: Cycle) {
+        Self::publish_metrics(
+            &mut self.metrics,
+            self.policy.as_ref(),
+            &self.hierarchy,
+            &self.os,
+            self.params.cores,
+        );
+        self.metrics.end_epoch(now);
     }
 
     /// AutoNUMA epoch reports, when the architecture balances
@@ -253,6 +309,8 @@ impl System {
         self.policy.reset_stats();
         self.hierarchy.reset_stats();
         self.os.reset_stats();
+        self.metrics.reset();
+        self.accesses_since_epoch = 0;
     }
 
     /// Runs the streams to completion and reports everything the paper's
@@ -311,7 +369,19 @@ impl System {
             .collect())
     }
 
-    fn report(&self, run: RunReport) -> SystemReport {
+    fn report(&mut self, run: RunReport) -> SystemReport {
+        // Close the final (possibly partial) epoch so the timeline covers
+        // the whole run, then fold the component event traces into the
+        // registry in global time order.
+        self.end_metrics_epoch(run.makespan());
+        let mut events: Vec<TraceEvent> = Vec::new();
+        if let Some(trace) = self.policy.events() {
+            events.extend(trace.iter().copied());
+        }
+        events.extend(self.os.events().iter().copied());
+        events.sort_by_key(|e| e.at);
+        self.metrics.absorb_events(events.iter());
+
         let stats = self.policy.stats();
         let instructions = run.total_instructions();
         let l3_misses = self.hierarchy.l3().stats().misses.value();
@@ -334,6 +404,7 @@ impl System {
             } else {
                 l3_misses as f64 * 1000.0 / instructions as f64
             },
+            metrics: self.metrics.export(),
         }
     }
 }
@@ -359,6 +430,7 @@ impl MemorySystem for System {
             self.accesses_since_epoch += 1;
             if self.accesses_since_epoch >= self.epoch_accesses {
                 self.accesses_since_epoch = 0;
+                self.end_metrics_epoch(issue);
                 if let Some(mut numa) = self.autonuma.take() {
                     numa.end_epoch(&mut self.os, self.policy.as_mut(), issue);
                     self.autonuma = Some(numa);
@@ -375,9 +447,7 @@ impl MemorySystem for System {
         if !outcome.prefetches.is_empty() {
             let map = *self.os.memory_map();
             let lo = match self.os.config().visibility {
-                chameleon_os::Visibility::OffchipOnly => {
-                    map.base(chameleon_os::NodeId::Offchip)
-                }
+                chameleon_os::Visibility::OffchipOnly => map.base(chameleon_os::NodeId::Offchip),
                 chameleon_os::Visibility::Both => 0,
             };
             let hi = map.total().bytes();
@@ -519,6 +589,9 @@ mod tests {
         s.reset_measurement();
         let r = s.run(streams);
         assert!(r.major_faults > 0, "expected thrashing");
-        assert!(r.run.mean_running_utilization() < 0.9, "faults tank utilisation");
+        assert!(
+            r.run.mean_running_utilization() < 0.9,
+            "faults tank utilisation"
+        );
     }
 }

@@ -129,8 +129,14 @@ fn energy_counters_accumulate_during_runs() {
     s.reset_measurement();
     let _ = s.run(streams);
     let d = s.policy().devices();
-    let stacked = d.stacked.energy().dynamic_energy_mj(&EnergyParams::stacked());
-    let offchip = d.offchip.energy().dynamic_energy_mj(&EnergyParams::offchip());
+    let stacked = d
+        .stacked
+        .energy()
+        .dynamic_energy_mj(&EnergyParams::stacked());
+    let offchip = d
+        .offchip
+        .energy()
+        .dynamic_energy_mj(&EnergyParams::offchip());
     assert!(stacked > 0.0, "stacked device did work");
     assert!(offchip > 0.0, "off-chip device did work");
 }
@@ -144,10 +150,8 @@ fn command_scheduler_matches_device_row_behaviour() {
     // Same two accesses to one row: both models classify the second as a
     // row hit.
     let cpu = ClockDomain::from_ghz(3.6);
-    let mut sched = ChannelScheduler::new(SchedConfig::from_device(
-        &DramConfig::stacked_4gb(),
-        cpu,
-    ));
+    let mut sched =
+        ChannelScheduler::new(SchedConfig::from_device(&DramConfig::stacked_4gb(), cpu));
     sched.enqueue_read(0, 7, 0);
     sched.enqueue_read(0, 7, 0);
     let done = sched.run_until_idle();

@@ -85,8 +85,14 @@ fn cache_architectures_lose_capacity() {
     pom.reset_measurement();
     let pom_report = pom.run(streams);
 
-    assert!(alloy_report.major_faults > 0, "Alloy must page against the SSD");
-    assert_eq!(pom_report.major_faults, 0, "PoM's extra capacity averts faults");
+    assert!(
+        alloy_report.major_faults > 0,
+        "Alloy must page against the SSD"
+    );
+    assert_eq!(
+        pom_report.major_faults, 0,
+        "PoM's extra capacity averts faults"
+    );
     assert!(pom_report.run.geomean_ipc() > alloy_report.run.geomean_ipc());
 }
 

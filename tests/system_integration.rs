@@ -12,7 +12,9 @@ fn tiny() -> ScaledParams {
 fn run(arch: Architecture, app: &str, seed: u64) -> chameleon::SystemReport {
     let params = tiny();
     let mut s = System::new(arch, &params);
-    let streams = s.spawn_rate_workload(app, params.instructions_per_core, seed).unwrap();
+    let streams = s
+        .spawn_rate_workload(app, params.instructions_per_core, seed)
+        .unwrap();
     s.prefault_all().unwrap();
     s.reset_measurement();
     s.run(streams)

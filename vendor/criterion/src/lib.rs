@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a simple calibrated timing loop printing
+//! mean and minimum per-iteration time — enough for coarse hot-path
+//! comparisons, with none of real criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Samples per benchmark (each sample times a calibrated batch).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups; kept for parity.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, &name);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    /// Per-iteration durations, one per sample batch.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find a batch size that runs long enough to time
+        // reliably (~1ms), capped so quick smoke runs stay quick.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(per_iter);
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{name}: no samples (iter never called)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{group}/{name}: mean {} / iter, min {} ({} samples)",
+            fmt_time(mean),
+            fmt_time(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde`.
+//!
+//! Serialization is defined directly in terms of a JSON [`Value`] tree
+//! (see [`value`]) instead of serde's visitor machinery. The derive
+//! macros re-exported from `serde_derive` generate `to_value` /
+//! `from_value` implementations with externally-tagged enums and
+//! declaration-ordered struct fields, matching serde_json's default
+//! output for the subset of shapes this workspace uses.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input object.
+    /// `Option<T>` overrides this to yield `None`, mirroring serde's
+    /// missing-optional-field behavior; everything else errors.
+    fn missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::new(format!("missing field `{name}`")))
+    }
+}
+
+pub mod de {
+    //! Matches `serde::de::DeserializeOwned` bounds used by dependents.
+    pub use crate::Error;
+
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Error;
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers invoked by `serde_derive`-generated code.
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in an object, falling back to the type's
+    /// missing-field behavior (error, or `None` for options).
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(f) => T::from_value(f).map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Same, but `#[serde(default)]`: absent fields use `Default`.
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(f) => T::from_value(f).map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Externally-tagged enum payload: `{ "Variant": <data> }`.
+    pub fn single_key(v: &Value) -> Result<(&str, &Value), Error> {
+        match v.as_object() {
+            Some(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            _ => Err(Error::new("expected single-key object for enum variant")),
+        }
+    }
+
+    /// Array payload of an exact length (tuple variants / tuple structs).
+    pub fn tuple_elems(v: &Value, n: usize) -> Result<&[Value], Error> {
+        match v.as_array() {
+            Some(a) if a.len() == n => Ok(a),
+            Some(a) => Err(Error::new(format!(
+                "expected array of length {n}, found {}",
+                a.len()
+            ))),
+            None => Err(Error::new("expected array")),
+        }
+    }
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::U(n as u64))
+                } else {
+                    Value::Number(Number::I(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    // Non-finite floats serialize as null; round-trip as NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => v
+                        .as_f64()
+                        .map(|f| f as $t)
+                        .ok_or_else(|| Error::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::new(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let a = crate::__private::tuple_elems(v, N)?;
+                Ok(($($t::from_value(&a[$i])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic, as serde_json does not
+        // guarantee but our golden-schema tests require.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

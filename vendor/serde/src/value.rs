@@ -1,0 +1,317 @@
+//! The JSON data model shared by the `serde` and `serde_json` stand-ins.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs rather than a map)
+//! so serialized output is stable: fields appear exactly in declaration
+//! order, which keeps exported schemas diffable.
+
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A floating-point number.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(v) if v >= 0.0 && v <= u64::MAX as f64 && v.fract() == 0.0 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `null` for out-of-bounds indexing.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays; `None` for other kinds or out of range.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, e, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, e)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, e, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write;
+    match n {
+        Number::U(v) => write!(out, "{v}").unwrap(),
+        Number::I(v) => write!(out, "{v}").unwrap(),
+        Number::F(v) if v.is_finite() => {
+            // Rust's float Display is shortest-roundtrip; force a decimal
+            // point or exponent so the value re-parses as floating.
+            let s = format!("{v}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Infinity; serde_json emits null likewise.
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_preserves_order() {
+        let v = Value::Object(vec![
+            ("z".into(), Value::Bool(true)),
+            ("a".into(), Value::Null),
+        ]);
+        assert_eq!(v.to_json(), r#"{"z":true,"a":null}"#);
+    }
+
+    #[test]
+    fn float_formatting_reparses_as_float() {
+        let v = Value::Number(Number::F(2.0));
+        assert_eq!(v.to_json(), "2.0");
+        assert_eq!(Value::Number(Number::F(0.5)).to_json(), "0.5");
+    }
+
+    #[test]
+    fn index_misses_are_null() {
+        let v = Value::Object(vec![("k".into(), Value::Bool(false))]);
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+        assert_eq!(v["k"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\n\u{1}".into());
+        assert_eq!(v.to_json(), r#""a\"b\\c\n\u0001""#);
+    }
+}

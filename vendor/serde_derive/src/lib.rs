@@ -1,0 +1,454 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item's token stream by hand (the real derive depends on
+//! `syn`/`quote`, which are unavailable offline) and emits `to_value` /
+//! `from_value` implementations against the shim `serde` crate's JSON
+//! value model. Supports the shapes this workspace uses: non-generic
+//! structs (named, tuple, unit) and enums (unit, newtype, tuple, and
+//! struct variants), externally tagged, plus `#[serde(default)]` on
+//! named fields. Anything else panics with a clear message at compile
+//! time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---- model -----------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in: generic type `{name}` is not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: unexpected enum body {other:?}"),
+        },
+        k => panic!("derive: cannot derive for `{k} {name}`"),
+    };
+
+    Item { name, body }
+}
+
+/// Advances past leading attributes and a visibility modifier; reports
+/// whether any skipped attribute was exactly `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_default(&g.stream()) {
+                        has_default = true;
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate), pub(super), ...
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// `#[serde(default)]` → bracket group containing `serde ( default )`.
+fn attr_is_serde_default(bracket: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = bracket.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let supported = matches!(
+                (inner.first(), inner.len()),
+                (Some(TokenTree::Ident(w)), 1) if w.to_string() == "default"
+            );
+            if !supported {
+                panic!(
+                    "derive stand-in: unsupported serde attribute `#[serde({})]`",
+                    args.stream()
+                );
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        // Skip the type: commas nested in generics don't end the field.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if saw_token_since_comma {
+                    count += 1;
+                }
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Variant::Tuple(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(name, parse_named_fields(g.stream()))
+            }
+            _ => Variant::Unit(name),
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    match v {
+        Variant::Unit(vn) => {
+            format!("{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),")
+        }
+        Variant::Tuple(vn, 1) => format!(
+            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+               ::std::string::String::from({vn:?}), \
+               ::serde::Serialize::to_value(__f0))]),"
+        ),
+        Variant::Tuple(vn, n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                .collect();
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from({vn:?}), \
+                   ::serde::Value::Array(::std::vec![{elems}]))]),",
+                binds = binds.join(", "),
+                elems = elems.join(", "),
+            )
+        }
+        Variant::Struct(vn, fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value({n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from({vn:?}), \
+                   ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                binds = binds.join(", "),
+                pairs = pairs.join(", "),
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.has_default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    format!("{n}: ::serde::__private::{helper}(__v, {n:?})?", n = f.name)
+                })
+                .collect();
+            format!(
+                "if !__v.is_object() {{ \
+                   return ::std::result::Result::Err(::serde::Error::new(\
+                     \"expected object for {name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = ::serde::__private::tuple_elems(__v, {n})?; \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Unit(vn) => Some(format!(
+                "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),"
+            )),
+            _ => None,
+        })
+        .collect();
+
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Unit(_) => None,
+            Variant::Tuple(vn, 1) => Some(format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                   ::serde::Deserialize::from_value(__payload)?)),"
+            )),
+            Variant::Tuple(vn, n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{vn:?} => {{ \
+                       let __a = ::serde::__private::tuple_elems(__payload, {n})?; \
+                       ::std::result::Result::Ok({name}::{vn}({})) \
+                     }}",
+                    elems.join(", ")
+                ))
+            }
+            Variant::Struct(vn, fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let helper = if f.has_default {
+                            "field_or_default"
+                        } else {
+                            "field"
+                        };
+                        format!(
+                            "{n}: ::serde::__private::{helper}(__payload, {n:?})?",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "if let ::std::option::Option::Some(__s) = __v.as_str() {{ \
+           match __s {{ {} _ => return ::std::result::Result::Err(\
+             ::serde::Error::new(::std::format!(\
+               \"unknown {name} variant `{{}}`\", __s))), }} \
+         }}",
+        unit_arms.join(" ")
+    ));
+    if payload_arms.is_empty() {
+        out.push_str(
+            " ::std::result::Result::Err(::serde::Error::new(\
+               \"expected variant name string\"))",
+        );
+    } else {
+        out.push_str(&format!(
+            " let (__k, __payload) = ::serde::__private::single_key(__v)?; \
+              match __k {{ {} _ => ::std::result::Result::Err(\
+                ::serde::Error::new(::std::format!(\
+                  \"unknown {name} variant `{{}}`\", __k))), }}",
+            payload_arms.join(" ")
+        ));
+    }
+    out
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Reuses the shim `serde` crate's [`Value`] model and adds a
+//! recursive-descent parser, string emitters, and the `json!` macro.
+
+pub use serde::value::{Number, Value};
+pub use serde::Error;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Converts any serializable type into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes compactly.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_value(&v)
+}
+
+/// Deserializes `T` out of an already-parsed [`Value`].
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+/// Builds a [`Value`] literal. Supports the flat shapes used in this
+/// workspace: `json!(null)`, `json!({ "k": expr, ... })`,
+/// `json!([expr, ...])`, and `json!(expr)` for any `Serialize` type.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($key:literal : $value:expr),+ $(,)? }) => {{
+        let __pairs: ::std::vec::Vec<(::std::string::String, $crate::Value)> = ::std::vec![
+            $((
+                ::std::string::String::from($key),
+                $crate::to_value(&$value),
+            )),+
+        ];
+        $crate::Value::Object(__pairs)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---- parser ----------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid token at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(out)),
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(out)),
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                },
+                Some(c) if c < 0x20 => return Err(Error::new("control character in string")),
+                Some(c) => {
+                    // Reassemble multi-byte UTF-8 (input came from &str,
+                    // so sequences are valid).
+                    let len = utf8_len(c);
+                    if len == 1 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        self.pos += len - 1;
+                        let slice = &self.bytes[start..self.pos];
+                        out.push_str(
+                            std::str::from_utf8(slice)
+                                .map_err(|_| Error::new("invalid utf-8 in string"))?,
+                        );
+                    }
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated unicode escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::new("invalid hex digit"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_round_trip() {
+        let src = r#"{"a":1,"b":[true,null,-2,0.5],"c":"x\ny","d":{"e":18446744073709551615}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "name": "x", "n": 3u64, "arr": [1, 2, 3] });
+        assert_eq!(v["name"].as_str(), Some("x"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["arr"].as_array().map(|a| a.len()), Some(3));
+        assert!(json!(null).is_null());
+    }
+
+    #[test]
+    fn numbers_classify() {
+        assert_eq!(parse("42").unwrap(), Value::Number(Number::U(42)));
+        assert_eq!(parse("-7").unwrap(), Value::Number(Number::I(-7)));
+        assert_eq!(parse("1e3").unwrap(), Value::Number(Number::F(1000.0)));
+    }
+}
