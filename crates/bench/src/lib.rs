@@ -6,44 +6,21 @@
 //! tables can be regenerated and diffed.
 //!
 //! The heavyweight sweep shared by Figures 15–19 and Table II (every
-//! Table II application against every Figure 18 architecture) is cached
-//! on disk: the first runner to need it computes it, the rest reuse it.
-//! Delete `results/main_sweep.json` to force a re-run.
+//! Table II application against every Figure 18 architecture) runs on
+//! the `chameleon-sweep` engine: cells execute in parallel and land in
+//! the content-addressed store under `results/store/`, one file per
+//! cell, keyed by the full job description. Interrupted sweeps resume;
+//! parameter changes re-run exactly the affected cells. Delete
+//! `results/store/` to force a full re-run.
 
 use std::path::PathBuf;
 
-use chameleon::{Architecture, ScaledParams, System, SystemReport};
+use chameleon::{Architecture, ScaledParams, SystemReport};
+use chameleon_sweep::{Job, Store, SweepEngine};
 use chameleon_workloads::AppSpec;
 use serde::{de::DeserializeOwned, Serialize};
-use std::sync::Mutex;
 
-/// Run sizing, selected with the `CHAMELEON_SCALE` environment variable
-/// (`quick` or `full`; default `full`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunScale {
-    /// ~4x fewer instructions; minutes-level total runtime.
-    Quick,
-    /// The default experiment sizing.
-    Full,
-}
-
-impl RunScale {
-    /// Reads the scale from the environment.
-    pub fn from_env() -> Self {
-        match std::env::var("CHAMELEON_SCALE").as_deref() {
-            Ok("quick") => RunScale::Quick,
-            _ => RunScale::Full,
-        }
-    }
-
-    /// Instructions per core for a measured run.
-    pub fn instructions(self) -> u64 {
-        match self {
-            RunScale::Quick => 250_000,
-            RunScale::Full => 1_000_000,
-        }
-    }
-}
+pub use chameleon_sweep::RunScale;
 
 /// The experiment harness: parameters, result directory, and shared
 /// sweeps.
@@ -98,52 +75,59 @@ impl Harness {
         AppSpec::table2().into_iter().map(|a| a.name).collect()
     }
 
-    /// Runs one (architecture, application) cell with the paper protocol.
-    pub fn run_cell(&self, arch: Architecture, app: &str) -> SystemReport {
-        let mut system = System::new(arch, &self.params);
-        system
-            .run_paper_protocol(app, 42)
-            .expect("Table II application")
-    }
+    /// The base seed every harness job is described with (each cell's
+    /// effective RNG seed additionally mixes in its job hash).
+    pub const BASE_SEED: u64 = 42;
 
-    /// Runs a full architecture x application matrix, parallelised across
-    /// available cores. Results are ordered `apps x archs` (row-major).
-    pub fn run_matrix(&self, archs: &[Architecture], apps: &[String]) -> Vec<SystemReport> {
-        let cells: Vec<(usize, Architecture, String)> = apps
-            .iter()
-            .enumerate()
-            .flat_map(|(ai, app)| {
+    /// The jobs a `apps x archs` (row-major) matrix expands to under the
+    /// current parameters.
+    pub fn matrix_jobs(&self, archs: &[Architecture], apps: &[String]) -> Vec<Job> {
+        apps.iter()
+            .flat_map(|app| {
                 archs
                     .iter()
-                    .enumerate()
-                    .map(move |(xi, arch)| (ai * archs.len() + xi, *arch, app.clone()))
+                    .map(|&arch| Job::new(arch, app.clone(), &self.params, Self::BASE_SEED))
             })
-            .collect();
-        let results: Mutex<Vec<Option<SystemReport>>> = Mutex::new(vec![None; cells.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(cells.len().max(1));
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (slot, arch, app) = cells[i].clone();
-                    let report = self.run_cell(arch, &app);
-                    results.lock().expect("results lock")[slot] = Some(report);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("results lock")
-            .into_iter()
-            .map(|r| r.expect("all cells filled"))
             .collect()
+    }
+
+    /// The sweep engine every harness run goes through: worker count
+    /// from `CHAMELEON_JOBS` / available parallelism, cells memoised in
+    /// the content-addressed store under `results/store/`.
+    fn engine(&self) -> SweepEngine {
+        let mut engine = SweepEngine::new();
+        match Store::open(self.out_dir.join("store")) {
+            Ok(store) => engine = engine.with_store(store),
+            Err(e) => eprintln!("warning: result store unavailable ({e}); running uncached"),
+        }
+        engine
+    }
+
+    /// Runs one (architecture, application) cell with the paper protocol.
+    /// The cell goes through the sweep engine, so it hits (and feeds)
+    /// the same store as matrix runs.
+    pub fn run_cell(&self, arch: Architecture, app: &str) -> SystemReport {
+        let job = Job::new(arch, app.to_owned(), &self.params, Self::BASE_SEED);
+        let outcome = self
+            .engine()
+            .run(std::slice::from_ref(&job))
+            .expect("cell runs");
+        outcome.reports.into_iter().next().expect("one report")
+    }
+
+    /// Runs a full architecture x application matrix on the parallel
+    /// sweep engine. Results are ordered `apps x archs` (row-major) and
+    /// bit-identical to a serial run regardless of worker count.
+    pub fn run_matrix(&self, archs: &[Architecture], apps: &[String]) -> Vec<SystemReport> {
+        let jobs = self.matrix_jobs(archs, apps);
+        let outcome = self.engine().run(&jobs).unwrap_or_else(|e| panic!("{e}"));
+        if outcome.cached > 0 {
+            println!(
+                "[sweep: {} cells from results/store/, {} simulated]",
+                outcome.cached, outcome.ran
+            );
+        }
+        outcome.reports
     }
 
     /// Path of a result file.
@@ -167,42 +151,33 @@ impl Harness {
     }
 
     /// The shared Figures 15–19 / Table II sweep: every Table II app
-    /// against every Figure 18 architecture, cached under
-    /// `results/main_sweep.json`.
+    /// against every Figure 18 architecture. Cells are memoised
+    /// individually in `results/store/` (keyed by the full job
+    /// description), so the first runner to need the sweep computes it,
+    /// the rest assemble it from the store, and a parameter change
+    /// re-runs only the cells it invalidates. This replaces the old
+    /// monolithic `results/main_sweep.json` cache, whose invalidation
+    /// checked only `instructions_per_core`.
     pub fn main_sweep(&self) -> MainSweep {
-        if let Some(sweep) = self.load_json::<MainSweep>("main_sweep.json") {
-            // A cached sweep predating the metrics registry deserialises
-            // with empty timelines; recompute so runners can emit them.
-            let has_metrics = sweep
-                .reports
-                .first()
-                .is_some_and(|r| !r.metrics.epochs.is_empty());
-            if sweep.instructions == self.params.instructions_per_core && has_metrics {
-                println!("[using cached results/main_sweep.json]");
-                return sweep;
-            }
-        }
         let archs = Architecture::figure18();
         let apps = Self::app_names();
         println!(
-            "[running main sweep: {} apps x {} architectures, {} instr/core]",
+            "[main sweep: {} apps x {} architectures, {} instr/core]",
             apps.len(),
             archs.len(),
             self.params.instructions_per_core
         );
         let reports = self.run_matrix(&archs, &apps);
-        let sweep = MainSweep {
+        MainSweep {
             instructions: self.params.instructions_per_core,
             archs: archs.iter().map(|a| a.label()).collect(),
             apps,
             reports,
-        };
-        self.save_json("main_sweep.json", &sweep);
-        sweep
+        }
     }
 }
 
-/// The cached main sweep.
+/// The assembled Figures 15–19 / Table II sweep.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MainSweep {
     /// Instructions per core the sweep was run with.

@@ -1,0 +1,87 @@
+//! Live progress line for long sweeps: completed/total, throughput, ETA.
+//!
+//! Written to stderr with a carriage return so runner stdout (the tables
+//! the figure binaries print) stays clean and diffable.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared progress state, updated by worker threads as cells finish.
+pub struct Progress {
+    total: usize,
+    cached: usize,
+    state: Mutex<ProgressState>,
+    enabled: bool,
+}
+
+struct ProgressState {
+    done: usize,
+    started: Instant,
+}
+
+impl Progress {
+    /// Tracks a sweep of `total` cells, `cached` of which were satisfied
+    /// from the store before any worker started.
+    pub fn new(total: usize, cached: usize, enabled: bool) -> Self {
+        Self {
+            total,
+            cached,
+            state: Mutex::new(ProgressState {
+                done: 0,
+                started: Instant::now(),
+            }),
+            enabled,
+        }
+    }
+
+    /// Records one finished cell and repaints the line.
+    pub fn cell_done(&self) {
+        let mut s = self.state.lock().expect("progress lock");
+        s.done += 1;
+        if !self.enabled {
+            return;
+        }
+        let pending = self.total - self.cached;
+        let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = s.done as f64 / elapsed;
+        let eta = ((pending - s.done) as f64 / rate.max(1e-9)).round() as u64;
+        eprint!(
+            "\r[sweep] {}/{} cells ({} cached), {:.2} cells/s, ETA {}s   ",
+            self.cached + s.done,
+            self.total,
+            self.cached,
+            rate,
+            eta
+        );
+        if s.done == pending {
+            eprintln!();
+        }
+    }
+
+    /// Cells completed so far (excluding cached ones).
+    #[cfg(test)]
+    pub fn done(&self) -> usize {
+        self.state.lock().expect("progress lock").done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_without_painting() {
+        let p = Progress::new(4, 1, false);
+        p.cell_done();
+        p.cell_done();
+        assert_eq!(p.done(), 2);
+    }
+
+    #[test]
+    fn paints_to_stderr_without_panicking() {
+        let p = Progress::new(2, 0, true);
+        p.cell_done();
+        p.cell_done();
+        assert_eq!(p.done(), 2);
+    }
+}

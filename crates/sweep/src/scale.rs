@@ -1,0 +1,60 @@
+//! Run sizing, selected with the `CHAMELEON_SCALE` environment variable.
+
+/// Run sizing (`CHAMELEON_SCALE=quick` or `full`; default `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// ~4x fewer instructions; minutes-level total runtime.
+    Quick,
+    /// The default experiment sizing.
+    Full,
+}
+
+impl RunScale {
+    /// Reads the scale from the environment. An unrecognised value warns
+    /// to stderr (naming the accepted spellings) and falls back to
+    /// `Full`, so a typo like `CHAMELEON_SCALE=ful` is visible instead
+    /// of silently running the long configuration.
+    pub fn from_env() -> Self {
+        match std::env::var("CHAMELEON_SCALE").as_deref() {
+            Ok("quick") => RunScale::Quick,
+            Ok("full") => RunScale::Full,
+            Ok(other) => {
+                eprintln!(
+                    "warning: CHAMELEON_SCALE={other:?} is not recognised \
+                     (accepted: \"quick\", \"full\"); defaulting to full"
+                );
+                RunScale::Full
+            }
+            Err(_) => RunScale::Full,
+        }
+    }
+
+    /// Instructions per core for a measured run.
+    pub fn instructions(self) -> u64 {
+        match self {
+            RunScale::Quick => 250_000,
+            RunScale::Full => 1_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_recognises_all_values() {
+        // Exercise every branch in one test: env mutation is not
+        // thread-safe across tests, so keep it serialised here.
+        std::env::set_var("CHAMELEON_SCALE", "quick");
+        assert_eq!(RunScale::from_env(), RunScale::Quick);
+        std::env::set_var("CHAMELEON_SCALE", "full");
+        assert_eq!(RunScale::from_env(), RunScale::Full);
+        // A typo warns (to stderr) and falls back to Full.
+        std::env::set_var("CHAMELEON_SCALE", "ful");
+        assert_eq!(RunScale::from_env(), RunScale::Full);
+        std::env::remove_var("CHAMELEON_SCALE");
+        assert_eq!(RunScale::from_env(), RunScale::Full);
+        assert!(RunScale::Quick.instructions() < RunScale::Full.instructions());
+    }
+}

@@ -72,6 +72,64 @@ impl Architecture {
         }
     }
 
+    /// Parses an architecture from a command-line spelling. Accepts the
+    /// paper legend labels ([`Architecture::label`]) as well as short
+    /// aliases, case-insensitively and ignoring `-`/`_`/space: `alloy`,
+    /// `pom`, `cameo`, `chameleon`, `chameleon-opt`, `polymorphic`,
+    /// `flat-small`, `flat-large`, `numa-first-touch`, `autonuma-<pct>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted spellings.
+    pub fn parse(spec: &str) -> Result<Architecture, String> {
+        let norm: String = spec
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let fixed = [
+            (Architecture::FlatSmall, "flatsmall"),
+            (Architecture::FlatLarge, "flatlarge"),
+            (Architecture::Alloy, "alloy"),
+            (Architecture::Alloy, "alloycache"),
+            (Architecture::Pom, "pom"),
+            (Architecture::Cameo, "cameo"),
+            (Architecture::Chameleon, "chameleon"),
+            (Architecture::ChameleonOpt, "chameleonopt"),
+            (Architecture::Polymorphic, "polymorphic"),
+            (Architecture::Polymorphic, "polymorphicmemory"),
+            (Architecture::NumaFirstTouch, "numafirsttouch"),
+            (Architecture::NumaFirstTouch, "numaawareallocator"),
+        ];
+        for (arch, alias) in fixed {
+            let label_norm: String = arch
+                .label()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            if norm == alias || norm == label_norm {
+                return Ok(arch);
+            }
+        }
+        if let Some(rest) = norm.strip_prefix("autonuma") {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+            if let Ok(pct) = digits.parse::<u8>() {
+                if (1..=100).contains(&pct) {
+                    return Ok(Architecture::AutoNuma { threshold_pct: pct });
+                }
+            }
+            return Err(format!(
+                "bad AutoNUMA spec {spec:?}: expected autonuma-<pct> with pct in 1..=100"
+            ));
+        }
+        Err(format!(
+            "unknown architecture {spec:?}; accepted: flat-small, flat-large, alloy, pom, \
+             cameo, chameleon, chameleon-opt, polymorphic, numa-first-touch, autonuma-<pct>, \
+             or any paper legend label"
+        ))
+    }
+
     /// Whether the OS sees the stacked DRAM as allocatable memory.
     pub fn visibility(&self) -> Visibility {
         match self {
@@ -193,6 +251,41 @@ mod tests {
         assert_eq!(archs.len(), 6);
         assert_eq!(archs[0], Architecture::FlatSmall);
         assert_eq!(archs[5], Architecture::ChameleonOpt);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_labels() {
+        assert_eq!(Architecture::parse("pom").unwrap(), Architecture::Pom);
+        assert_eq!(
+            Architecture::parse("Chameleon-Opt").unwrap(),
+            Architecture::ChameleonOpt
+        );
+        assert_eq!(
+            Architecture::parse("chameleon_opt").unwrap(),
+            Architecture::ChameleonOpt
+        );
+        assert_eq!(
+            Architecture::parse("Alloy-Cache").unwrap(),
+            Architecture::Alloy
+        );
+        assert_eq!(
+            Architecture::parse("baseline_small_DDR (no stacked DRAM)").unwrap(),
+            Architecture::FlatSmall
+        );
+        assert_eq!(
+            Architecture::parse("autonuma-90").unwrap(),
+            Architecture::AutoNuma { threshold_pct: 90 }
+        );
+        assert_eq!(
+            Architecture::parse("autoNUMA_80percent").unwrap(),
+            Architecture::AutoNuma { threshold_pct: 80 }
+        );
+        assert!(Architecture::parse("doom").is_err());
+        assert!(Architecture::parse("autonuma-200").is_err());
+        // Round-trip: every figure-18 label parses back to itself.
+        for arch in Architecture::figure18() {
+            assert_eq!(Architecture::parse(&arch.label()).unwrap(), arch);
+        }
     }
 
     #[test]
