@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the per-reference fast path: the exact
+//! `System::access` walk every simulated memory reference pays, plus its
+//! two dominant sub-steps (resident translation in the OS, the SRAM
+//! hierarchy walk) in isolation.
+//!
+//! The end-to-end throughput rig lives in `src/bin/bench_hotpath.rs`;
+//! this bench is for attributing a regression to a layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chameleon::cpu::MemorySystem;
+use chameleon::{Architecture, ScaledParams, System};
+use chameleon_cache::Hierarchy;
+use chameleon_os::isa::NullHook;
+use chameleon_os::{MemoryMap, OsConfig, OsKernel};
+use chameleon_simkit::mem::ByteSize;
+
+/// A fully warmed tiny Chameleon-Opt system with its footprint resident.
+fn warm_system(arch: Architecture) -> System {
+    let mut params = ScaledParams::tiny();
+    params.instructions_per_core = 10_000;
+    let mut system = System::new(arch, &params);
+    let _ = system
+        .spawn_rate_workload("mcf", params.instructions_per_core, 1)
+        .expect("mcf is a Table II app");
+    system.prefault_all().expect("prefault");
+    system.reset_measurement();
+    system
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+
+    // The pure fast path: resident page, L1 hit. This is the floor every
+    // other access pays on top of.
+    g.bench_function("system_access_l1_hit", |b| {
+        let mut s = warm_system(Architecture::ChameleonOpt);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 4;
+            black_box(s.access(0, black_box(0x1240), false, now).latency)
+        });
+    });
+
+    // A streaming reference pattern: resident pages, rolling cache misses
+    // down to the HMA policy.
+    g.bench_function("system_access_stream", |b| {
+        let mut s = warm_system(Architecture::ChameleonOpt);
+        let mut now = 0u64;
+        let mut vaddr = 0u64;
+        b.iter(|| {
+            vaddr = (vaddr + 64) % (1 << 22);
+            now += 50;
+            black_box(s.access(0, vaddr, false, now).latency)
+        });
+    });
+
+    // Resident translation alone (OS layer).
+    g.bench_function("os_touch_resident", |b| {
+        let mut os = OsKernel::new(
+            OsConfig::default(),
+            MemoryMap::new(ByteSize::mib(4), ByteSize::mib(32)),
+        );
+        let pid = os.spawn(ByteSize::mib(16));
+        let mut hook = NullHook;
+        let mut vaddr = 0u64;
+        for p in 0..(16u64 << 20) / 4096 {
+            os.touch(pid, p * 4096, false, 0, &mut hook)
+                .expect("prefault");
+        }
+        b.iter(|| {
+            vaddr = (vaddr + 4096) % (16 << 20);
+            black_box(os.touch(pid, vaddr, false, 0, &mut hook).expect("resident"))
+        });
+    });
+
+    // The three-level SRAM walk alone (cache layer), miss-heavy.
+    g.bench_function("hierarchy_walk", |b| {
+        let mut h = Hierarchy::table1(2);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(99) % (1 << 26);
+            let out = h.access(0, addr, true);
+            black_box((out.level, out.memory_writebacks.len()))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_path);
+criterion_main!(benches);

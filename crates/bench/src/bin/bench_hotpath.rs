@@ -1,0 +1,148 @@
+//! Hot-path throughput rig: simulated memory references per wall-clock
+//! second, per architecture, on a fixed workload.
+//!
+//! Every simulated reference walks `System::access` → `OsKernel::touch` →
+//! `Hierarchy::access` → `HmaPolicy::access`; this runner measures how
+//! fast that walk goes on the host, independent of what it simulates.
+//! The output seeds the perf trajectory: `BENCH_hotpath.json` records
+//! accesses/sec and ns/access for a `fig15`-style cell of each
+//! architecture, so any hot-path regression shows up as a number, not a
+//! feeling.
+//!
+//! The workload is fixed (mcf, base seed 1, tiny-scale capacities) so
+//! runs on the same machine are comparable across commits. Wall-clock
+//! timing covers only the measured run, not spawn/prefault/warm-up.
+//!
+//! Usage: `bench_hotpath [--instr N] [--reps N] [--out PATH]`
+//!   --instr N   instructions per core for the measured run
+//!               (default 2,000,000; CI smoke passes a smaller N)
+//!   --reps N    measured repetitions per cell; the fastest is reported
+//!               (default 3 — best-of filters scheduler noise, which is
+//!               one-sided: interference only ever slows a run down)
+//!   --out PATH  output JSON path (default BENCH_hotpath.json)
+
+use std::time::Instant;
+
+use chameleon::{Architecture, ScaledParams, System};
+use serde::Serialize;
+
+/// One architecture's hot-path throughput measurement.
+#[derive(Debug, Serialize)]
+struct HotpathCell {
+    /// Architecture label (paper legend spelling).
+    arch: String,
+    /// Workload name.
+    app: String,
+    /// Simulated memory references the measured run issued.
+    accesses: u64,
+    /// Instructions retired across cores.
+    instructions: u64,
+    /// Wall-clock nanoseconds for the measured run.
+    elapsed_ns: u64,
+    /// Host throughput: simulated references per wall-clock second.
+    accesses_per_sec: f64,
+    /// Host cost: wall-clock nanoseconds per simulated reference.
+    ns_per_access: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct HotpathReport {
+    /// Report shape version.
+    schema_version: u32,
+    /// Instructions per core each cell ran.
+    instructions_per_core: u64,
+    /// Fixed workload every cell runs.
+    app: String,
+    /// Per-architecture measurements.
+    cells: Vec<HotpathCell>,
+}
+
+fn measure_once(arch: Architecture, instructions_per_core: u64) -> HotpathCell {
+    let mut params = ScaledParams::tiny();
+    params.instructions_per_core = instructions_per_core;
+    let mut system = System::new(arch, &params);
+    let streams = system
+        .spawn_rate_workload("mcf", instructions_per_core, 1)
+        .expect("mcf is a Table II app");
+    system.prefault_all().expect("prefault");
+    system.reset_measurement();
+    let started = Instant::now();
+    let report = system.run(streams);
+    let elapsed = started.elapsed();
+    let accesses: u64 = report.run.cores.iter().map(|c| c.mem_ops).sum();
+    let instructions = report.run.total_instructions();
+    let elapsed_ns = elapsed.as_nanos() as u64;
+    let secs = elapsed.as_secs_f64().max(1e-12);
+    HotpathCell {
+        arch: report.arch,
+        app: report.workload,
+        accesses,
+        instructions,
+        elapsed_ns,
+        accesses_per_sec: accesses as f64 / secs,
+        ns_per_access: elapsed_ns as f64 / accesses.max(1) as f64,
+    }
+}
+
+/// Best of `reps` runs: each repetition simulates the identical cell, so
+/// the fastest wall-clock time is the cleanest estimate of the hot
+/// path's cost.
+fn measure(arch: Architecture, instructions_per_core: u64, reps: u32) -> HotpathCell {
+    (0..reps.max(1))
+        .map(|_| measure_once(arch, instructions_per_core))
+        .min_by(|a, b| a.elapsed_ns.cmp(&b.elapsed_ns))
+        .expect("at least one repetition")
+}
+
+fn main() {
+    let mut instructions_per_core: u64 = 2_000_000;
+    let mut reps: u32 = 3;
+    let mut out = "BENCH_hotpath.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instr" => {
+                let v = args.next().expect("--instr takes a value");
+                instructions_per_core = v.parse().expect("--instr takes an integer");
+            }
+            "--reps" => {
+                let v = args.next().expect("--reps takes a value");
+                reps = v.parse().expect("--reps takes an integer");
+            }
+            "--out" => out = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let archs = [
+        Architecture::Pom,
+        Architecture::Chameleon,
+        Architecture::ChameleonOpt,
+        Architecture::Alloy,
+        Architecture::FlatSmall,
+    ];
+    println!(
+        "[hotpath] {} instr/core, fixed workload mcf, {} architectures, best of {}",
+        instructions_per_core,
+        archs.len(),
+        reps
+    );
+    let mut cells = Vec::new();
+    for arch in archs {
+        let cell = measure(arch, instructions_per_core, reps);
+        println!(
+            "  {:<14} {:>12.0} accesses/s  {:>8.1} ns/access  ({} accesses)",
+            cell.arch, cell.accesses_per_sec, cell.ns_per_access, cell.accesses
+        );
+        cells.push(cell);
+    }
+    let report = HotpathReport {
+        schema_version: 1,
+        instructions_per_core,
+        app: "mcf".to_owned(),
+        cells,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out, json).expect("write report");
+    println!("[saved {out}]");
+}

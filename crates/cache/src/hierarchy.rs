@@ -3,8 +3,14 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AccessKind, CacheConfig, LookupResult, PrefetchConfig, SetAssocCache, StridePrefetcher,
+    AccessKind, CacheConfig, InlineVec, LookupResult, PrefetchBuf, PrefetchConfig, SetAssocCache,
+    StridePrefetcher,
 };
+
+/// Dirty-victim buffer of one hierarchy walk: the L1 victim's cascade can
+/// displace one dirty line from the L3, and so can the L2 victim's and
+/// the demand fill itself — three memory writebacks at most.
+pub type WritebackBuf = InlineVec<3>;
 
 /// Which level serviced a reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -20,7 +26,11 @@ pub enum HitLevel {
 }
 
 /// Outcome of a hierarchy reference.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Both result buffers are inline (no heap allocation per reference):
+/// writebacks are bounded by the three-level walk, prefetch bursts by the
+/// configured degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyOutcome {
     /// Where the reference was serviced.
     pub level: HitLevel,
@@ -29,11 +39,11 @@ pub struct HierarchyOutcome {
     pub sram_latency: u32,
     /// Dirty line addresses displaced out of the L3 by this reference;
     /// the caller must write them back to memory.
-    pub memory_writebacks: Vec<u64>,
+    pub memory_writebacks: WritebackBuf,
     /// Prefetch candidate addresses emitted by the (optional) stride
     /// prefetcher on an LLC miss; the caller fetches them from memory and
     /// installs them with [`Hierarchy::install_prefetch`].
-    pub prefetches: Vec<u64>,
+    pub prefetches: PrefetchBuf,
 }
 
 /// Private-L1/L2-per-core plus shared-L3 hierarchy.
@@ -122,8 +132,8 @@ impl Hierarchy {
             AccessKind::Read
         };
         let mut latency = self.l1_latency;
-        let mut memory_writebacks = Vec::new();
-        let mut prefetches = Vec::new();
+        let mut memory_writebacks = WritebackBuf::new();
+        let mut prefetches = PrefetchBuf::new();
 
         // L1.
         match self.l1[core].access(addr, kind) {

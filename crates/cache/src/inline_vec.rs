@@ -1,0 +1,127 @@
+//! A tiny fixed-capacity inline vector for hot-path results.
+//!
+//! The per-reference hierarchy walk used to return two heap `Vec`s per
+//! access; both are bounded by construction (at most one dirty victim per
+//! level can reach memory, prefetch bursts are bounded by the configured
+//! degree), so an inline buffer removes the allocator from the hottest
+//! loop in the simulator entirely.
+
+/// A stack-allocated vector of at most `N` addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineVec<const N: usize> {
+    items: [u64; N],
+    len: u8,
+}
+
+impl<const N: usize> InlineVec<N> {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Self {
+            items: [0; N],
+            len: 0,
+        }
+    }
+
+    /// Appends an address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — capacities are sized to the
+    /// structural bound of their producer, so overflow is a logic error.
+    pub fn push(&mut self, addr: u64) {
+        assert!((self.len as usize) < N, "InlineVec<{N}> overflow");
+        self.items[self.len as usize] = addr;
+        self.len += 1;
+    }
+
+    /// The live prefix as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<const N: usize> Default for InlineVec<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> std::ops::Deref for InlineVec<N> {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl<const N: usize> IntoIterator for InlineVec<N> {
+    type Item = u64;
+    type IntoIter = std::iter::Take<std::array::IntoIter<u64, N>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a, const N: usize> IntoIterator for &'a InlineVec<N> {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<const N: usize> PartialEq<[u64]> for InlineVec<N> {
+    fn eq(&self, other: &[u64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<Vec<u64>> for InlineVec<N> {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let v = InlineVec::<3>::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.as_slice(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut v = InlineVec::<3>::new();
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 10);
+        assert_eq!(v.as_slice(), &[10, 20]);
+        let owned: Vec<u64> = v.into_iter().collect();
+        assert_eq!(owned, vec![10, 20]);
+        let borrowed: Vec<u64> = (&v).into_iter().copied().collect();
+        assert_eq!(borrowed, vec![10, 20]);
+    }
+
+    #[test]
+    fn compares_with_vec() {
+        let mut v = InlineVec::<4>::new();
+        v.push(7);
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut v = InlineVec::<1>::new();
+        v.push(1);
+        v.push(2);
+    }
+}

@@ -12,6 +12,18 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::InlineVec;
+
+/// Upper bound on [`PrefetchConfig::degree`]: a newly confirmed stride
+/// emits up to `degree` candidates in one burst, and the burst buffer is
+/// inline (no allocation on the access path), so the degree is capped at
+/// its capacity.
+pub const MAX_PREFETCH_DEGREE: usize = 8;
+
+/// Prefetch candidates of one observation, at most
+/// [`MAX_PREFETCH_DEGREE`] of them.
+pub type PrefetchBuf = InlineVec<MAX_PREFETCH_DEGREE>;
+
 /// Prefetcher configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PrefetchConfig {
@@ -75,6 +87,11 @@ impl StridePrefetcher {
             "region must be a power of two"
         );
         assert!(cfg.degree > 0, "degree must be positive");
+        assert!(
+            cfg.degree as usize <= MAX_PREFETCH_DEGREE,
+            "degree {} exceeds MAX_PREFETCH_DEGREE {MAX_PREFETCH_DEGREE}",
+            cfg.degree
+        );
         Self {
             table: vec![RptEntry::default(); cfg.table_entries],
             cfg,
@@ -89,11 +106,12 @@ impl StridePrefetcher {
 
     /// Observes a demand access and returns prefetch candidate addresses
     /// (possibly empty).
-    pub fn observe(&mut self, addr: u64) -> Vec<u64> {
+    pub fn observe(&mut self, addr: u64) -> PrefetchBuf {
         let region = addr / self.cfg.region_bytes;
         let idx = (region as usize) % self.cfg.table_entries;
         let e = &mut self.table[idx];
 
+        let mut out = PrefetchBuf::new();
         if !e.valid || e.region != region {
             *e = RptEntry {
                 region,
@@ -102,33 +120,30 @@ impl StridePrefetcher {
                 confirmed: false,
                 valid: true,
             };
-            return Vec::new();
+            return out;
         }
 
         let stride = addr as i64 - e.last_addr as i64;
-        let out = if stride != 0 && stride == e.stride {
+        if stride != 0 && stride == e.stride {
             if e.confirmed {
                 // Steady state: fetch just the next line ahead of the run.
                 let ahead = addr as i64 + stride * self.cfg.degree as i64;
                 if ahead >= 0 {
-                    vec![ahead as u64]
-                } else {
-                    Vec::new()
+                    out.push(ahead as u64);
                 }
             } else {
                 e.confirmed = true;
                 // Newly confirmed: fetch the whole degree window.
-                (1..=self.cfg.degree as i64)
-                    .filter_map(|k| {
-                        let a = addr as i64 + stride * k;
-                        (a >= 0).then_some(a as u64)
-                    })
-                    .collect()
+                for k in 1..=self.cfg.degree as i64 {
+                    let a = addr as i64 + stride * k;
+                    if a >= 0 {
+                        out.push(a as u64);
+                    }
+                }
             }
         } else {
             e.confirmed = false;
-            Vec::new()
-        };
+        }
         e.stride = stride;
         e.last_addr = addr;
         self.issued += out.len() as u64;

@@ -24,15 +24,64 @@ pub enum LookupResult {
     },
 }
 
+/// One way's state, packed into two words (16 bytes) so a 4-way set scan
+/// touches a single host cache line: `key = tag << 4 | rrpv << 2 |
+/// dirty << 1 | valid`. The RRPV saturates at 3, so two bits suffice.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+    key: u64,
     /// Last-use stamp for LRU (insertion stamp for FIFO).
     used: u64,
-    /// Re-reference prediction value for SRRIP.
-    rrpv: u8,
+}
+
+impl Line {
+    const VALID: u64 = 0b1;
+    const DIRTY: u64 = 0b10;
+    const RRPV_MASK: u64 = 0b1100;
+    const RRPV_SHIFT: u32 = 2;
+    const TAG_SHIFT: u32 = 4;
+
+    fn fill(tag: u64, dirty: bool, used: u64, rrpv: u8) -> Self {
+        Self {
+            key: tag << Self::TAG_SHIFT
+                | u64::from(rrpv) << Self::RRPV_SHIFT
+                | u64::from(dirty) << 1
+                | Self::VALID,
+            used,
+        }
+    }
+
+    fn matches(&self, tag: u64) -> bool {
+        self.key & Self::VALID != 0 && self.key >> Self::TAG_SHIFT == tag
+    }
+
+    fn valid(&self) -> bool {
+        self.key & Self::VALID != 0
+    }
+
+    fn dirty(&self) -> bool {
+        self.key & Self::DIRTY != 0
+    }
+
+    fn tag(&self) -> u64 {
+        self.key >> Self::TAG_SHIFT
+    }
+
+    fn rrpv(&self) -> u8 {
+        ((self.key & Self::RRPV_MASK) >> Self::RRPV_SHIFT) as u8
+    }
+
+    fn set_rrpv(&mut self, v: u8) {
+        self.key = (self.key & !Self::RRPV_MASK) | u64::from(v.min(3)) << Self::RRPV_SHIFT;
+    }
+
+    fn mark_dirty(&mut self) {
+        self.key |= Self::DIRTY;
+    }
+
+    fn clear_valid(&mut self) {
+        self.key &= !Self::VALID;
+    }
 }
 
 /// One set-associative cache level.
@@ -49,7 +98,19 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened set-major (`set * ways + way`): one
+    /// contiguous allocation instead of a `Vec` per set, so a lookup is
+    /// one dependent load, not two.
+    lines: Vec<Line>,
+    num_sets: usize,
+    ways: usize,
+    /// `num_sets - 1` when the set count is a power of two (index with a
+    /// mask); 0 otherwise.
+    set_mask: u64,
+    /// `floor(2^64 / num_sets)` when the set count is *not* a power of
+    /// two (the Table I L3 has 12288 sets): an exact modulo via one
+    /// multiply-high instead of a hardware divide. 0 for pow2 counts.
+    set_magic: u64,
     line_shift: u32,
     clock: u64,
     policy: ReplacementPolicy,
@@ -75,9 +136,22 @@ impl SetAssocCache {
     /// Panics if `cfg` fails [`CacheConfig::validate`].
     pub fn with_policy(cfg: CacheConfig, policy: ReplacementPolicy) -> Self {
         let sets = cfg.sets();
+        let ways = cfg.ways as usize;
         let line_shift = cfg.line_bytes.trailing_zeros();
         Self {
-            sets: vec![vec![Line::default(); cfg.ways as usize]; sets],
+            lines: vec![Line::default(); sets * ways],
+            num_sets: sets,
+            ways,
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                0
+            },
+            set_magic: if sets.is_power_of_two() {
+                0
+            } else {
+                ((1u128 << 64) / sets as u128) as u64
+            },
             line_shift,
             cfg,
             clock: 0,
@@ -109,7 +183,22 @@ impl SetAssocCache {
 
     fn locate(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        let set = (line % self.sets.len() as u64) as usize;
+        let set = if self.set_magic == 0 {
+            // Power-of-two set count (mask is `sets - 1`, which is also
+            // correct for a single set).
+            (line & self.set_mask) as usize
+        } else {
+            // Exact `line % num_sets` by reciprocal: the estimated
+            // quotient `q` is at most 1 low, so one conditional
+            // subtract corrects the remainder.
+            let n = self.num_sets as u64;
+            let q = ((line as u128 * self.set_magic as u128) >> 64) as u64;
+            let mut r = line - q * n;
+            if r >= n {
+                r -= n;
+            }
+            r as usize
+        };
         (set, line)
     }
 
@@ -119,44 +208,67 @@ impl SetAssocCache {
         self.clock += 1;
         let (set_idx, tag) = self.locate(addr);
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.ways..][..self.ways];
 
         let policy = self.policy;
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        // One fused scan finds the matching way, the first invalid way,
+        // and the oldest-stamped way (the LRU/FIFO victim: strict `<`
+        // keeps the first minimum, like `min_by_key`), so a miss costs a
+        // single pass instead of three.
+        let mut hit = None;
+        let mut first_invalid = usize::MAX;
+        let mut oldest_idx = 0;
+        let mut oldest_used = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            if l.matches(tag) {
+                hit = Some(i);
+                break;
+            }
+            if !l.valid() && first_invalid == usize::MAX {
+                first_invalid = i;
+            }
+            if l.used < oldest_used {
+                oldest_used = l.used;
+                oldest_idx = i;
+            }
+        }
+        if let Some(i) = hit {
+            let line = &mut set[i];
             if policy != ReplacementPolicy::Fifo {
                 line.used = clock;
             }
-            line.rrpv = 0;
+            line.set_rrpv(0);
             if kind == AccessKind::Write {
-                line.dirty = true;
+                line.mark_dirty();
             }
             self.stats.record(kind, true);
             return LookupResult::Hit;
         }
 
         // Miss: pick an invalid way, else the policy's victim.
-        let mut rng_state = self.rng_state;
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| Self::pick_victim(set, policy, &mut rng_state));
-        self.rng_state = rng_state;
+        let victim_idx = if first_invalid != usize::MAX {
+            first_invalid
+        } else {
+            match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest_idx,
+                _ => {
+                    let mut rng_state = self.rng_state;
+                    let v = Self::pick_victim(set, policy, &mut rng_state);
+                    self.rng_state = rng_state;
+                    v
+                }
+            }
+        };
         let victim = set[victim_idx];
-        let writeback = (victim.valid && victim.dirty).then(|| victim.tag << self.line_shift);
-        if victim.valid {
+        let writeback = (victim.valid() && victim.dirty()).then(|| victim.tag() << self.line_shift);
+        if victim.valid() {
             self.stats.evictions.inc();
             if writeback.is_some() {
                 self.stats.writebacks.inc();
             }
         }
-        set[victim_idx] = Line {
-            tag,
-            valid: true,
-            dirty: kind == AccessKind::Write,
-            used: clock,
-            // SRRIP inserts with a long re-reference prediction.
-            rrpv: 2,
-        };
+        // SRRIP inserts with a long re-reference prediction.
+        set[victim_idx] = Line::fill(tag, kind == AccessKind::Write, clock, 2);
         self.stats.record(kind, false);
         LookupResult::Miss { writeback }
     }
@@ -178,11 +290,11 @@ impl SetAssocCache {
                 (*rng % set.len() as u64) as usize
             }
             ReplacementPolicy::Srrip => loop {
-                if let Some(i) = set.iter().position(|l| l.rrpv >= 3) {
+                if let Some(i) = set.iter().position(|l| l.rrpv() >= 3) {
                     break i;
                 }
                 for l in set.iter_mut() {
-                    l.rrpv = l.rrpv.saturating_add(1);
+                    l.set_rrpv(l.rrpv() + 1);
                 }
             },
         }
@@ -191,7 +303,9 @@ impl SetAssocCache {
     /// Whether `addr`'s line is currently present (no LRU update).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.locate(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[set_idx * self.ways..][..self.ways]
+            .iter()
+            .any(|l| l.matches(tag))
     }
 
     /// Drops `addr`'s line if present, returning its line address if it was
@@ -199,11 +313,12 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
         let (set_idx, tag) = self.locate(addr);
         let shift = self.line_shift;
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.ways..][..self.ways];
         for line in set.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                return line.dirty.then(|| tag << shift);
+            if line.matches(tag) {
+                let dirty = line.dirty();
+                line.clear_valid();
+                return dirty.then(|| tag << shift);
             }
         }
         None
@@ -214,25 +329,19 @@ impl SetAssocCache {
         self.clock += 1;
         let (set_idx, tag) = self.locate(addr);
         let clock = self.clock;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+        let set = &mut self.lines[set_idx * self.ways..][..self.ways];
+        if let Some(line) = set.iter_mut().find(|l| l.matches(tag)) {
             line.used = clock;
             return;
         }
-        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+        let victim_idx = set.iter().position(|l| !l.valid()).unwrap_or_else(|| {
             set.iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.used)
                 .map(|(i, _)| i)
                 .expect("associativity is non-zero")
         });
-        set[victim_idx] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            used: clock,
-            rrpv: 2,
-        };
+        set[victim_idx] = Line::fill(tag, false, clock, 2);
     }
 }
 
@@ -347,5 +456,22 @@ mod tests {
             c.access(i * 64, AccessKind::Read);
         }
         assert_eq!(c.stats().accesses(), 100_000);
+    }
+
+    #[test]
+    fn reciprocal_set_index_matches_modulo() {
+        let c = SetAssocCache::new(CacheConfig::table1_l3());
+        let sets = c.config().sets() as u64;
+        assert!(!sets.is_power_of_two(), "test needs the reciprocal path");
+        // Dense low lines, a stride that never revisits a set in-order,
+        // and the extremes of the address space.
+        let probe = (0..10_000u64)
+            .chain((0..10_000).map(|i| i * 0x1_0001))
+            .chain([u64::MAX >> 6, (u64::MAX >> 6) - 1, sets, sets - 1, sets + 1]);
+        for line in probe {
+            let (set, tag) = c.locate(line << 6);
+            assert_eq!(set as u64, line % sets, "line {line}");
+            assert_eq!(tag, line);
+        }
     }
 }

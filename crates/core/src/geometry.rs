@@ -123,18 +123,32 @@ impl SegmentGeometry {
             paddr < self.total_bytes(),
             "physical address {paddr:#x} out of range"
         );
+        // The segment size is asserted to be a power of two at
+        // construction, so divide/modulo reduce to shift/mask on this
+        // per-reference path.
+        let seg_shift = self.segment_bytes.trailing_zeros();
+        let off_mask = self.segment_bytes - 1;
         if paddr < self.stacked_bytes {
             SegLoc {
-                group: paddr / self.segment_bytes,
+                group: paddr >> seg_shift,
                 slot: 0,
-                offset: paddr % self.segment_bytes,
+                offset: paddr & off_mask,
             }
         } else {
-            let j = (paddr - self.stacked_bytes) / self.segment_bytes;
+            let rel = paddr - self.stacked_bytes;
+            let j = rel >> seg_shift;
+            let (group, wrap) = if self.stacked_segments.is_power_of_two() {
+                (
+                    j & (self.stacked_segments - 1),
+                    j >> self.stacked_segments.trailing_zeros(),
+                )
+            } else {
+                (j % self.stacked_segments, j / self.stacked_segments)
+            };
             SegLoc {
-                group: j % self.stacked_segments,
-                slot: 1 + (j / self.stacked_segments) as u8,
-                offset: (paddr - self.stacked_bytes) % self.segment_bytes,
+                group,
+                slot: 1 + wrap as u8,
+                offset: rel & off_mask,
             }
         }
     }

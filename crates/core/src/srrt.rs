@@ -26,6 +26,12 @@ pub enum Mode {
 pub struct SrrtEntry {
     /// `remap[logical] = physical` slot permutation (the tag bits).
     remap: [u8; MAX_SLOTS],
+    /// Inverse permutation, `inv[physical] = logical`, maintained in
+    /// lockstep with `remap` so [`SrrtEntry::logical_in`] — queried on
+    /// every stacked-slot reference — is a single array read instead of a
+    /// linear scan (hardware reads the tag bits associatively; this is
+    /// the software equivalent).
+    inv: [u8; MAX_SLOTS],
     /// Number of live slots.
     slots: u8,
     /// Alloc Bit Vector: bit `l` set iff logical segment `l` is allocated.
@@ -66,6 +72,7 @@ impl SrrtEntry {
         }
         Self {
             remap,
+            inv: remap,
             slots,
             abv: 0,
             mode: Mode::Pom,
@@ -92,18 +99,15 @@ impl SrrtEntry {
     /// Logical segment whose home data occupies physical slot `p`.
     pub fn logical_in(&self, p: u8) -> u8 {
         debug_assert!(p < self.slots);
-        for l in 0..self.slots {
-            if self.remap[l as usize] == p {
-                return l;
-            }
-        }
-        unreachable!("remap is a permutation");
+        self.inv[p as usize]
     }
 
     /// Swaps the homes of logical segments `a` and `b`.
     pub fn swap_homes(&mut self, a: u8, b: u8) {
         debug_assert!(a < self.slots && b < self.slots);
         self.remap.swap(a as usize, b as usize);
+        self.inv[self.remap[a as usize] as usize] = a;
+        self.inv[self.remap[b as usize] as usize] = b;
     }
 
     /// Marks logical segment `l` allocated or free.
@@ -258,7 +262,8 @@ impl SrrtEntry {
         self.transit = [NO_TRANSIT; 2];
     }
 
-    /// Debug invariant: `remap` is a permutation of `0..slots`.
+    /// Debug invariant: `remap` is a permutation of `0..slots` and `inv`
+    /// is its inverse.
     pub fn check_permutation(&self) -> bool {
         let mut seen = [false; MAX_SLOTS];
         for l in 0..self.slots {
@@ -267,6 +272,9 @@ impl SrrtEntry {
                 return false;
             }
             seen[p as usize] = true;
+            if self.inv[p as usize] != l {
+                return false;
+            }
         }
         true
     }

@@ -191,6 +191,32 @@ proptest! {
 }
 
 proptest! {
+    /// The maintained inverse permutation stays consistent with the
+    /// forward remap through arbitrary `swap_homes` sequences:
+    /// `logical_in` (one array read) always agrees with a linear scan of
+    /// `physical_of`, and the two maps are mutual inverses.
+    #[test]
+    fn srrt_inverse_tracks_forward_permutation(
+        swaps in prop::collection::vec((0u8..8, 0u8..8), 0..64),
+        slots in prop::sample::select(vec![1u8, 4, 6, 8]),
+    ) {
+        let mut e = SrrtEntry::new(slots);
+        for (a, b) in swaps {
+            e.swap_homes(a % slots, b % slots);
+            prop_assert!(e.check_permutation());
+        }
+        for l in 0..slots {
+            prop_assert_eq!(e.logical_in(e.physical_of(l)), l);
+        }
+        for p in 0..slots {
+            let scan = (0..slots).find(|&l| e.physical_of(l) == p).unwrap();
+            prop_assert_eq!(e.logical_in(p), scan);
+            prop_assert_eq!(e.physical_of(e.logical_in(p)), p);
+        }
+    }
+}
+
+proptest! {
     /// The hardware bit encoding of an SRRT entry roundtrips losslessly
     /// for every reachable (permutation, ABV, mode, counter) combination.
     #[test]

@@ -1,7 +1,5 @@
 //! The single-core window model.
 
-use std::collections::VecDeque;
-
 use chameleon_simkit::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -85,13 +83,69 @@ struct Outstanding {
     issued_at_instr: u64,
 }
 
+/// Fixed-capacity FIFO of in-flight accesses. Occupancy never exceeds
+/// the MLP bound (`step` retires the oldest entry first), so a
+/// preallocated ring replaces `VecDeque`'s growth machinery on the
+/// per-op path.
+#[derive(Debug)]
+struct InFlight {
+    buf: Box<[Outstanding]>,
+    head: usize,
+    len: usize,
+}
+
+impl InFlight {
+    fn new(cap: usize) -> Self {
+        let zero = Outstanding {
+            complete_at: 0,
+            issued_at_instr: 0,
+        };
+        Self {
+            buf: vec![zero; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn front(&self) -> Option<Outstanding> {
+        (self.len > 0).then(|| self.buf[self.head])
+    }
+
+    fn pop_front(&mut self) -> Option<Outstanding> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
+        self.len -= 1;
+        Some(v)
+    }
+
+    fn push_back(&mut self, v: Outstanding) {
+        debug_assert!(self.len < self.buf.len(), "ring sized to the MLP bound");
+        let mut i = self.head + self.len;
+        if i >= self.buf.len() {
+            i -= self.buf.len();
+        }
+        self.buf[i] = v;
+        self.len += 1;
+    }
+}
+
 /// One core executing an instruction stream against a memory system.
 #[derive(Debug)]
 pub struct Core {
     id: usize,
     cfg: CoreConfig,
     clock: Cycle,
-    outstanding: VecDeque<Outstanding>,
+    outstanding: InFlight,
     report: CoreReport,
 }
 
@@ -105,7 +159,7 @@ impl Core {
             id,
             cfg,
             clock: 0,
-            outstanding: VecDeque::new(),
+            outstanding: InFlight::new(cfg.mlp),
             report: CoreReport::default(),
         }
     }
@@ -121,7 +175,7 @@ impl Core {
     }
 
     /// Executes one operation. Returns the new local clock.
-    pub fn step(&mut self, op: Op, mem: &mut dyn MemorySystem) -> Cycle {
+    pub fn step<M: MemorySystem + ?Sized>(&mut self, op: Op, mem: &mut M) -> Cycle {
         match op {
             Op::Compute(n) => {
                 self.retire_window(n as u64);
@@ -177,7 +231,7 @@ impl Core {
     /// more than `rob_window` instructions past its issue point.
     fn retire_window(&mut self, n: u64) {
         let future_instr = self.report.instructions + n;
-        while let Some(front) = self.outstanding.front().copied() {
+        while let Some(front) = self.outstanding.front() {
             if future_instr.saturating_sub(front.issued_at_instr) >= self.cfg.rob_window {
                 self.outstanding.pop_front();
                 self.stall_until(front.complete_at);

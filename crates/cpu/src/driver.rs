@@ -50,6 +50,12 @@ impl RunReport {
     pub fn total_instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.instructions).sum()
     }
+
+    /// Total simulated memory references across cores (the sweep
+    /// progress line's accesses/sec numerator).
+    pub fn total_mem_ops(&self) -> u64 {
+        self.cores.iter().map(|c| c.mem_ops).sum()
+    }
 }
 
 /// Runs several cores against one shared memory system, keeping their
@@ -76,13 +82,17 @@ impl MultiCore {
 
     /// Runs every stream to exhaustion and returns the per-core reports.
     ///
+    /// Generic over the memory system (`?Sized` keeps `&mut dyn
+    /// MemorySystem` callers working) so a concrete system monomorphises
+    /// the per-op `access` call instead of going through a vtable.
+    ///
     /// # Panics
     ///
     /// Panics if the number of streams differs from the number of cores.
-    pub fn run<S: InstructionStream>(
+    pub fn run<S: InstructionStream, M: MemorySystem + ?Sized>(
         &mut self,
         mut streams: Vec<S>,
-        mem: &mut dyn MemorySystem,
+        mem: &mut M,
     ) -> RunReport {
         assert_eq!(
             streams.len(),

@@ -192,21 +192,23 @@ impl ChannelScheduler {
     /// FR-FCFS selection from a queue: oldest row-hit first, else oldest
     /// arrived request.
     fn select(queue: &[Request], banks: &[Bank], now: Cycle) -> Option<usize> {
-        let eligible = queue.iter().enumerate().filter(|(_, r)| r.arrival <= now);
-        // Prefer row hits among eligible requests.
-        if let Some((i, _)) = eligible
-            .clone()
-            .filter(|(_, r)| banks[r.bank].classify_hit(r.row))
-            .min_by_key(|(_, r)| r.arrival)
-        {
-            return Some(i);
+        // Single pass, tracking the oldest row-hit and oldest overall.
+        // Strict `<` keeps the first of equal arrivals, matching
+        // `min_by_key` tie-breaking.
+        let mut best_hit: Option<(usize, Cycle)> = None;
+        let mut best_any: Option<(usize, Cycle)> = None;
+        for (i, r) in queue.iter().enumerate() {
+            if r.arrival > now {
+                continue;
+            }
+            if best_any.is_none_or(|(_, a)| r.arrival < a) {
+                best_any = Some((i, r.arrival));
+            }
+            if banks[r.bank].classify_hit(r.row) && best_hit.is_none_or(|(_, a)| r.arrival < a) {
+                best_hit = Some((i, r.arrival));
+            }
         }
-        queue
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.arrival <= now)
-            .min_by_key(|(_, r)| r.arrival)
-            .map(|(i, _)| i)
+        best_hit.or(best_any).map(|(i, _)| i)
     }
 
     fn service_one(&mut self) -> Completion {

@@ -129,7 +129,10 @@ pub struct OsKernel {
     map: MemoryMap,
     stacked_alloc: Option<BuddyAllocator>,
     offchip_alloc: BuddyAllocator,
-    processes: HashMap<Pid, Process>,
+    /// Processes indexed by `pid - 1` (pids are handed out sequentially
+    /// from 1); an exited process leaves a `None` slot so pids stay
+    /// stable. Indexing replaces the old per-touch `HashMap` lookup.
+    processes: Vec<Option<Process>>,
     /// FIFO of resident pages for replacement, validated lazily against
     /// `reverse` (stale entries are skipped).
     fifo: VecDeque<u64>,
@@ -142,6 +145,12 @@ pub struct OsKernel {
     stats: OsStats,
     /// Ring buffer of fault events for the metrics timeline.
     trace: EventTrace,
+    /// Bumped on every event that can invalidate an existing
+    /// virtual→physical translation (swap-out, page release, process
+    /// exit, migration). Cached translations made under an older
+    /// generation must be discarded; events that only *add* mappings
+    /// (demand faults) do not bump it. See [`OsKernel::mapping_generation`].
+    mapping_generation: u64,
 }
 
 impl OsKernel {
@@ -174,7 +183,7 @@ impl OsKernel {
             map,
             stacked_alloc,
             offchip_alloc,
-            processes: HashMap::new(),
+            processes: Vec::new(),
             fifo: VecDeque::new(),
             reverse: HashMap::new(),
             next_pid: 1,
@@ -183,7 +192,27 @@ impl OsKernel {
             ssd: SsdModel::new(cfg.ssd),
             stats: OsStats::default(),
             trace: EventTrace::new(Registry::DEFAULT_TRACE_CAPACITY),
+            mapping_generation: 0,
         }
+    }
+
+    fn process(&self, pid: Pid) -> Result<&Process, OsError> {
+        pid.0
+            .checked_sub(1)
+            .and_then(|i| self.processes.get(i as usize)?.as_ref())
+            .ok_or(OsError::NoSuchProcess(pid))
+    }
+
+    fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, OsError> {
+        Self::slot_mut(&mut self.processes, pid).ok_or(OsError::NoSuchProcess(pid))
+    }
+
+    /// Field-scoped mutable lookup, for call sites that also hold borrows
+    /// of sibling fields (`reverse`, `fifo`).
+    fn slot_mut(processes: &mut [Option<Process>], pid: Pid) -> Option<&mut Process> {
+        pid.0
+            .checked_sub(1)
+            .and_then(|i| processes.get_mut(i as usize)?.as_mut())
     }
 
     /// The configuration the kernel was built with.
@@ -240,17 +269,23 @@ impl OsKernel {
         }
     }
 
+    /// The current translation-invalidation generation: unchanged as long
+    /// as every translation ever handed out is still valid, bumped by any
+    /// event that can retire one (swap-out, page release, process exit,
+    /// migration). Callers memoising translations compare generations and
+    /// flush on change; demand faults only add mappings and do not bump.
+    pub fn mapping_generation(&self) -> u64 {
+        self.mapping_generation
+    }
+
     /// Creates a process with the given maximum footprint.
     pub fn spawn(&mut self, footprint: ByteSize) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
-        self.processes.insert(
-            pid,
-            Process {
-                table: PageTable::new(),
-                footprint: footprint.bytes(),
-            },
-        );
+        self.processes.push(Some(Process {
+            table: PageTable::new(),
+            footprint: footprint.bytes(),
+        }));
         pid
     }
 
@@ -261,10 +296,12 @@ impl OsKernel {
     ///
     /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
     pub fn exit(&mut self, pid: Pid, now: Cycle, hook: &mut dyn IsaHook) -> Result<(), OsError> {
-        let mut proc = self
-            .processes
-            .remove(&pid)
+        let mut proc = pid
+            .0
+            .checked_sub(1)
+            .and_then(|i| self.processes.get_mut(i as usize)?.take())
             .ok_or(OsError::NoSuchProcess(pid))?;
+        self.mapping_generation += 1;
         for frame in proc.table.clear() {
             self.reverse.remove(&frame);
             self.free_frame(frame, now, hook);
@@ -274,7 +311,7 @@ impl OsKernel {
 
     /// Whether `pid` is live.
     pub fn is_alive(&self, pid: Pid) -> bool {
-        self.processes.contains_key(&pid)
+        self.process(pid).is_ok()
     }
 
     /// Resident-set size of a process in bytes.
@@ -283,18 +320,12 @@ impl OsKernel {
     ///
     /// Returns [`OsError::NoSuchProcess`] for an unknown pid.
     pub fn rss(&self, pid: Pid) -> Result<u64, OsError> {
-        Ok(self
-            .processes
-            .get(&pid)
-            .ok_or(OsError::NoSuchProcess(pid))?
-            .table
-            .resident_pages() as u64
-            * PAGE_SIZE)
+        Ok(self.process(pid)?.table.resident_pages() as u64 * PAGE_SIZE)
     }
 
     /// Translates without faulting (returns `None` if non-resident).
     pub fn peek_translate(&self, pid: Pid, vaddr: u64) -> Option<u64> {
-        self.processes.get(&pid)?.table.translate(vaddr)
+        self.process(pid).ok()?.table.translate(vaddr)
     }
 
     /// Touches a virtual address: translates it, demand-allocating or
@@ -311,10 +342,7 @@ impl OsKernel {
         now: Cycle,
         hook: &mut dyn IsaHook,
     ) -> Result<TouchOutcome, OsError> {
-        let proc = self
-            .processes
-            .get(&pid)
-            .ok_or(OsError::NoSuchProcess(pid))?;
+        let proc = self.process(pid)?;
         if vaddr >= proc.footprint {
             return Err(OsError::OutOfRange(vaddr));
         }
@@ -370,11 +398,9 @@ impl OsKernel {
         now: Cycle,
         hook: &mut dyn IsaHook,
     ) -> Result<(), OsError> {
-        let proc = self
-            .processes
-            .get_mut(&pid)
-            .ok_or(OsError::NoSuchProcess(pid))?;
+        let proc = self.process_mut(pid)?;
         let frame = proc.table.unmap(vaddr).ok_or(OsError::NotMapped(vaddr))?;
+        self.mapping_generation += 1;
         self.reverse.remove(&frame);
         self.free_frame(frame, now, hook);
         Ok(())
@@ -414,11 +440,9 @@ impl OsKernel {
             l.on_alloc(new_frame, PAGE_SIZE);
         }
         self.stats.allocs.inc();
-        // Remap.
-        let proc = self
-            .processes
-            .get_mut(&pid)
-            .expect("reverse map is consistent");
+        // Remap: the old translation dies with the move.
+        self.mapping_generation += 1;
+        let proc = self.process_mut(pid).expect("reverse map is consistent");
         proc.table.map(vpn * PAGE_SIZE, new_frame);
         self.reverse.remove(&frame_base);
         self.reverse.insert(new_frame, (pid, vpn));
@@ -442,7 +466,7 @@ impl OsKernel {
         // Try THP first when enabled and the whole huge region is
         // untouched.
         if self.cfg.use_thp && self.try_thp(pid, vaddr, now, hook) {
-            let proc = &self.processes[&pid];
+            let proc = self.process(pid).expect("checked by caller");
             return proc.table.translate(vaddr).expect("THP just mapped");
         }
         let frame = self.alloc_frame_evicting(now, hook);
@@ -451,7 +475,7 @@ impl OsKernel {
             l.on_alloc(frame, PAGE_SIZE);
         }
         self.stats.allocs.inc();
-        let proc = self.processes.get_mut(&pid).expect("checked by caller");
+        let proc = self.process_mut(pid).expect("checked by caller");
         proc.table.map(vaddr, frame);
         let vpn = PageTable::vpn(vaddr);
         self.reverse.insert(frame, (pid, vpn));
@@ -463,7 +487,7 @@ impl OsKernel {
         const HUGE: u64 = 2 << 20;
         let huge_base = vaddr & !(HUGE - 1);
         {
-            let proc = &self.processes[&pid];
+            let proc = self.process(pid).expect("checked by caller");
             if huge_base + HUGE > proc.footprint {
                 return false;
             }
@@ -485,7 +509,7 @@ impl OsKernel {
             l.on_alloc(block, HUGE);
         }
         self.stats.allocs.inc();
-        let proc = self.processes.get_mut(&pid).expect("checked by caller");
+        let proc = Self::slot_mut(&mut self.processes, pid).expect("checked by caller");
         for i in 0..HUGE / PAGE_SIZE {
             let va = huge_base + i * PAGE_SIZE;
             let frame = block + i * PAGE_SIZE;
@@ -575,10 +599,8 @@ impl OsKernel {
                 continue; // stale entry (freed or migrated)
             };
             self.reverse.remove(&frame);
-            let proc = self
-                .processes
-                .get_mut(&pid)
-                .expect("reverse map is consistent");
+            self.mapping_generation += 1;
+            let proc = self.process_mut(pid).expect("reverse map is consistent");
             let freed = proc.table.swap_out(vpn * PAGE_SIZE);
             debug_assert_eq!(freed, frame);
             // The dirty page is written to the SSD asynchronously but
@@ -937,6 +959,47 @@ mod tests {
         // 10% free spread over 5-slot groups: random gives
         // 1-(0.9)^5 = 0.41; scoring should do better.
         assert!(frac > 0.41, "placed fraction {frac} should beat random");
+    }
+
+    #[test]
+    fn mapping_generation_tracks_invalidations_only() {
+        let mut os = small_kernel(OsConfig::default());
+        let mut hook = RecordingHook::default();
+        let pid = os.spawn(ByteSize::mib(1));
+        let g0 = os.mapping_generation();
+        // Demand faults only add mappings: no bump.
+        os.touch(pid, 0, false, 0, &mut hook).unwrap();
+        os.touch(pid, PAGE_SIZE, false, 0, &mut hook).unwrap();
+        assert_eq!(os.mapping_generation(), g0);
+        // A release retires a translation: bump.
+        os.release_page(pid, 0, 0, &mut hook).unwrap();
+        let g1 = os.mapping_generation();
+        assert!(g1 > g0);
+        // Migration remaps: bump.
+        let t = os.touch(pid, PAGE_SIZE, false, 0, &mut hook).unwrap();
+        let target = match os.memory_map().node_of(t.paddr) {
+            NodeId::Stacked => NodeId::Offchip,
+            NodeId::Offchip => NodeId::Stacked,
+        };
+        os.migrate_page(t.paddr, target, 0, &mut hook).unwrap();
+        let g2 = os.mapping_generation();
+        assert!(g2 > g1);
+        // Exit clears the whole table: bump.
+        os.exit(pid, 0, &mut hook).unwrap();
+        assert!(os.mapping_generation() > g2);
+    }
+
+    #[test]
+    fn eviction_bumps_mapping_generation() {
+        let mut os = small_kernel(OsConfig::default());
+        let pid = os.spawn(ByteSize::mib(24));
+        let g0 = os.mapping_generation();
+        for p in 0..(24 << 20) / PAGE_SIZE {
+            os.touch(pid, p * PAGE_SIZE, true, 0, &mut NullHook)
+                .unwrap();
+        }
+        assert!(os.stats().swap_outs.value() > 0);
+        assert!(os.mapping_generation() > g0, "swap-outs must invalidate");
     }
 
     #[test]

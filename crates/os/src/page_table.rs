@@ -1,6 +1,12 @@
 //! Per-process page tables.
-
-use std::collections::HashMap;
+//!
+//! The table is *dense*: virtual address spaces start at zero and are
+//! bounded by the process footprint, so the VPN indexes a flat
+//! `Vec<PageState>` directly. This keeps the per-reference translation —
+//! the hottest lookup in the whole simulator — free of hashing; the old
+//! `HashMap<u64, PageState>` paid a SipHash per touch. A resident-page
+//! counter is maintained incrementally so RSS/free-space telemetry is
+//! O(1) instead of an O(pages) scan.
 
 /// Size of a virtual page (matches the frame size).
 pub const PAGE_SIZE: u64 = 4096;
@@ -22,10 +28,13 @@ pub enum PageState {
 /// A flat virtual→physical map for one process.
 ///
 /// Virtual addresses start at zero and are private per process; the
-/// simulator does not model address-space layout beyond that.
+/// simulator does not model address-space layout beyond that. The vector
+/// grows on demand to the highest touched VPN, so sparse tails of a
+/// footprint cost nothing until touched.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<u64, PageState>,
+    entries: Vec<PageState>,
+    resident: usize,
 }
 
 impl PageTable {
@@ -42,7 +51,7 @@ impl PageTable {
     /// State of the page containing `vaddr`.
     pub fn state(&self, vaddr: u64) -> PageState {
         self.entries
-            .get(&Self::vpn(vaddr))
+            .get(Self::vpn(vaddr) as usize)
             .copied()
             .unwrap_or(PageState::Untouched)
     }
@@ -57,8 +66,15 @@ impl PageTable {
 
     /// Installs a resident mapping for the page containing `vaddr`.
     pub fn map(&mut self, vaddr: u64, frame: u64) {
-        self.entries
-            .insert(Self::vpn(vaddr), PageState::Resident { frame });
+        let vpn = Self::vpn(vaddr) as usize;
+        if vpn >= self.entries.len() {
+            self.entries.resize(vpn + 1, PageState::Untouched);
+        }
+        let slot = &mut self.entries[vpn];
+        if !matches!(slot, PageState::Resident { .. }) {
+            self.resident += 1;
+        }
+        *slot = PageState::Resident { frame };
     }
 
     /// Marks the page containing `vaddr` as swapped out, returning its
@@ -69,8 +85,17 @@ impl PageTable {
     /// Panics if the page is not resident.
     pub fn swap_out(&mut self, vaddr: u64) -> u64 {
         let vpn = Self::vpn(vaddr);
-        match self.entries.insert(vpn, PageState::SwappedOut) {
-            Some(PageState::Resident { frame }) => frame,
+        let state = self
+            .entries
+            .get_mut(vpn as usize)
+            .map_or(PageState::Untouched, |s| {
+                std::mem::replace(s, PageState::SwappedOut)
+            });
+        match state {
+            PageState::Resident { frame } => {
+                self.resident -= 1;
+                frame
+            }
             other => panic!("swap_out of non-resident page {vpn}: {other:?}"),
         }
     }
@@ -79,40 +104,50 @@ impl PageTable {
     /// returning its frame if it was resident. Used for discardable pages
     /// (buffer cache) whose contents need no swap-out.
     pub fn unmap(&mut self, vaddr: u64) -> Option<u64> {
-        match self.entries.remove(&Self::vpn(vaddr)) {
-            Some(PageState::Resident { frame }) => Some(frame),
+        let vpn = Self::vpn(vaddr) as usize;
+        let state = self
+            .entries
+            .get_mut(vpn)
+            .map(|s| std::mem::replace(s, PageState::Untouched));
+        match state {
+            Some(PageState::Resident { frame }) => {
+                self.resident -= 1;
+                Some(frame)
+            }
             _ => None,
         }
     }
 
-    /// Removes all mappings, yielding the frames that were resident.
+    /// Removes all mappings, yielding the frames that were resident (in
+    /// VPN order).
     pub fn clear(&mut self) -> Vec<u64> {
         let frames = self
             .entries
-            .values()
+            .iter()
             .filter_map(|s| match s {
                 PageState::Resident { frame } => Some(*frame),
                 _ => None,
             })
             .collect();
         self.entries.clear();
+        self.resident = 0;
         frames
     }
 
-    /// Number of resident pages.
+    /// Number of resident pages (incrementally maintained, O(1)).
     pub fn resident_pages(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|s| matches!(s, PageState::Resident { .. }))
-            .count()
+        self.resident
     }
 
-    /// Iterates `(vpn, frame)` for resident pages.
+    /// Iterates `(vpn, frame)` for resident pages in VPN order.
     pub fn resident_iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.entries.iter().filter_map(|(&vpn, s)| match s {
-            PageState::Resident { frame } => Some((vpn, *frame)),
-            _ => None,
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(vpn, s)| match s {
+                PageState::Resident { frame } => Some((vpn as u64, *frame)),
+                _ => None,
+            })
     }
 }
 
@@ -153,6 +188,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-resident")]
+    fn swap_out_swapped_page_panics() {
+        let mut t = PageTable::new();
+        t.map(0x1000, 0x4000);
+        t.swap_out(0x1000);
+        t.swap_out(0x1000);
+    }
+
+    #[test]
     fn clear_returns_resident_frames() {
         let mut t = PageTable::new();
         t.map(0, 0x1000);
@@ -174,6 +218,15 @@ mod tests {
     }
 
     #[test]
+    fn unmap_swapped_page_returns_none_but_resets() {
+        let mut t = PageTable::new();
+        t.map(0x1000, 0x4000);
+        t.swap_out(0x1000);
+        assert_eq!(t.unmap(0x1000), None);
+        assert_eq!(t.state(0x1000), PageState::Untouched);
+    }
+
+    #[test]
     fn resident_iter_lists_mappings() {
         let mut t = PageTable::new();
         t.map(0, 0xA000);
@@ -181,5 +234,22 @@ mod tests {
         let mut pairs: Vec<_> = t.resident_iter().collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 0xA000), (2, 0xB000)]);
+    }
+
+    #[test]
+    fn resident_counter_tracks_transitions() {
+        let mut t = PageTable::new();
+        assert_eq!(t.resident_pages(), 0);
+        t.map(0, 0xA000);
+        t.map(4096, 0xB000);
+        assert_eq!(t.resident_pages(), 2);
+        t.map(0, 0xC000); // remap: still resident
+        assert_eq!(t.resident_pages(), 2);
+        t.swap_out(4096);
+        assert_eq!(t.resident_pages(), 1);
+        t.map(4096, 0xD000); // swap back in
+        assert_eq!(t.resident_pages(), 2);
+        t.unmap(0);
+        assert_eq!(t.resident_pages(), 1);
     }
 }

@@ -1,9 +1,32 @@
 //! Property-based tests for the OS substrate.
 
 use chameleon_os::isa::NullHook;
+use chameleon_os::page_table::{PageState, PageTable};
 use chameleon_os::{BuddyAllocator, MemoryMap, OsConfig, OsKernel};
 use chameleon_simkit::mem::ByteSize;
 use proptest::prelude::*;
+
+/// One operation against a page table, for the dense-vs-HashMap
+/// differential test below.
+#[derive(Debug, Clone)]
+enum TableOp {
+    Map { vpn: u64, frame: u64 },
+    SwapOut { vpn: u64 },
+    Unmap { vpn: u64 },
+    Clear,
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    (0u64..64, 0u64..1024, 0u8..8).prop_map(|(vpn, frame, kind)| match kind {
+        0..=3 => TableOp::Map {
+            vpn,
+            frame: frame * 4096,
+        },
+        4 | 5 => TableOp::SwapOut { vpn },
+        6 => TableOp::Unmap { vpn },
+        _ => TableOp::Clear,
+    })
+}
 
 proptest! {
     /// The buddy allocator conserves bytes exactly and never hands out
@@ -86,6 +109,70 @@ proptest! {
             }
             // Footprint fits in memory: no page can ever major-fault.
             prop_assert_ne!(t.fault, Some(chameleon_os::FaultKind::Major));
+        }
+    }
+
+    /// The dense `Vec`-backed page table agrees with a naive
+    /// `HashMap<vpn, PageState>` model on every observable — state,
+    /// translation, resident count, returned frames — through arbitrary
+    /// map/swap/unmap/clear sequences. This pins the hot-path
+    /// representation swap to the semantics of the original
+    /// HashMap-backed table.
+    #[test]
+    fn dense_table_matches_hashmap_model(
+        ops in prop::collection::vec(table_op(), 1..200),
+    ) {
+        let mut dense = PageTable::new();
+        let mut model: std::collections::HashMap<u64, PageState> =
+            std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                TableOp::Map { vpn, frame } => {
+                    dense.map(vpn * 4096, frame);
+                    model.insert(vpn, PageState::Resident { frame });
+                }
+                TableOp::SwapOut { vpn } => {
+                    // Only legal on resident pages (the kernel guarantees
+                    // this); the dense table panics otherwise.
+                    if let Some(PageState::Resident { frame }) = model.get(&vpn).copied() {
+                        prop_assert_eq!(dense.swap_out(vpn * 4096), frame);
+                        model.insert(vpn, PageState::SwappedOut);
+                    }
+                }
+                TableOp::Unmap { vpn } => {
+                    let expect = match model.remove(&vpn) {
+                        Some(PageState::Resident { frame }) => Some(frame),
+                        _ => None,
+                    };
+                    prop_assert_eq!(dense.unmap(vpn * 4096), expect);
+                }
+                TableOp::Clear => {
+                    let mut expect: Vec<(u64, u64)> = model
+                        .drain()
+                        .filter_map(|(vpn, s)| match s {
+                            PageState::Resident { frame } => Some((vpn, frame)),
+                            _ => None,
+                        })
+                        .collect();
+                    expect.sort_unstable();
+                    let frames: Vec<u64> = expect.iter().map(|&(_, f)| f).collect();
+                    prop_assert_eq!(dense.clear(), frames, "clear yields VPN-ordered frames");
+                }
+            }
+            let resident = model
+                .values()
+                .filter(|s| matches!(s, PageState::Resident { .. }))
+                .count();
+            prop_assert_eq!(dense.resident_pages(), resident);
+            for vpn in 0..64u64 {
+                let expect = model.get(&vpn).copied().unwrap_or(PageState::Untouched);
+                prop_assert_eq!(dense.state(vpn * 4096), expect, "vpn {} state", vpn);
+                let frame = match expect {
+                    PageState::Resident { frame } => Some(frame + 17),
+                    _ => None,
+                };
+                prop_assert_eq!(dense.translate(vpn * 4096 + 17), frame);
+            }
         }
     }
 }

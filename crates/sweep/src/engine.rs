@@ -167,6 +167,7 @@ impl SweepEngine {
                     // Panic isolation: one diverging cell reports its
                     // cause and the rest of the sweep completes.
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job.run()));
+                    let mut accesses = 0;
                     match outcome {
                         Ok(Ok(report)) => {
                             if let Some(store) = &self.store {
@@ -174,6 +175,7 @@ impl SweepEngine {
                                     eprintln!("warning: failed to store cell {}: {e}", job.key());
                                 }
                             }
+                            accesses = report.run.total_mem_ops();
                             slots.lock().expect("slots lock")[idx] = Some(report);
                         }
                         Ok(Err(msg)) => {
@@ -186,7 +188,7 @@ impl SweepEngine {
                                 .push((idx, panic_message(panic.as_ref())));
                         }
                     }
-                    progress.cell_done();
+                    progress.cell_done(accesses);
                 });
             }
         });

@@ -16,6 +16,7 @@ pub struct Progress {
 
 struct ProgressState {
     done: usize,
+    accesses: u64,
     started: Instant,
 }
 
@@ -28,16 +29,19 @@ impl Progress {
             cached,
             state: Mutex::new(ProgressState {
                 done: 0,
+                accesses: 0,
                 started: Instant::now(),
             }),
             enabled,
         }
     }
 
-    /// Records one finished cell and repaints the line.
-    pub fn cell_done(&self) {
+    /// Records one finished cell that simulated `accesses` memory
+    /// references (0 for failed cells) and repaints the line.
+    pub fn cell_done(&self, accesses: u64) {
         let mut s = self.state.lock().expect("progress lock");
         s.done += 1;
+        s.accesses += accesses;
         if !self.enabled {
             return;
         }
@@ -45,12 +49,14 @@ impl Progress {
         let elapsed = s.started.elapsed().as_secs_f64().max(1e-9);
         let rate = s.done as f64 / elapsed;
         let eta = ((pending - s.done) as f64 / rate.max(1e-9)).round() as u64;
+        let maccess = s.accesses as f64 / elapsed / 1e6;
         eprint!(
-            "\r[sweep] {}/{} cells ({} cached), {:.2} cells/s, ETA {}s   ",
+            "\r[sweep] {}/{} cells ({} cached), {:.2} cells/s, {:.1} Maccess/s, ETA {}s   ",
             self.cached + s.done,
             self.total,
             self.cached,
             rate,
+            maccess,
             eta
         );
         if s.done == pending {
@@ -72,16 +78,16 @@ mod tests {
     #[test]
     fn counts_without_painting() {
         let p = Progress::new(4, 1, false);
-        p.cell_done();
-        p.cell_done();
+        p.cell_done(100);
+        p.cell_done(50);
         assert_eq!(p.done(), 2);
     }
 
     #[test]
     fn paints_to_stderr_without_panicking() {
         let p = Progress::new(2, 0, true);
-        p.cell_done();
-        p.cell_done();
+        p.cell_done(1_000_000);
+        p.cell_done(0);
         assert_eq!(p.done(), 2);
     }
 }

@@ -141,7 +141,10 @@ impl AppStream {
                 }
                 self.medium_run_left -= 1;
                 let a = (self.medium_base + self.medium_cursor) * 64;
-                self.medium_cursor = (self.medium_cursor + 1) % self.medium_lines;
+                self.medium_cursor += 1;
+                if self.medium_cursor == self.medium_lines {
+                    self.medium_cursor = 0;
+                }
                 a
             } else {
                 // Sequential run, jumping to a random position when the
@@ -152,7 +155,10 @@ impl AppStream {
                 }
                 self.run_left -= 1;
                 let a = self.cursor * 64;
-                self.cursor = (self.cursor + 1) % self.footprint_lines;
+                self.cursor += 1;
+                if self.cursor == self.footprint_lines {
+                    self.cursor = 0;
+                }
                 a
             }
         } else {

@@ -5,6 +5,7 @@ use chameleon_cache::{CacheStats, Hierarchy, HitLevel};
 use chameleon_core::policy::{HmaPolicy, ModeDistribution};
 use chameleon_cpu::{MemorySystem, MultiCore, Reply, RunReport};
 use chameleon_os::numa::{AutoNuma, EpochReport};
+use chameleon_os::page_table::PAGE_SIZE;
 use chameleon_os::{OsConfig, OsError, OsKernel, Pid};
 use chameleon_simkit::metrics::{MetricSource, MetricsExport, Registry, TraceEvent};
 use chameleon_simkit::Cycle;
@@ -52,6 +53,10 @@ pub struct SystemReport {
     pub metrics: MetricsExport,
 }
 
+/// Slots per core in the translation memo (a power of two; the VPN's low
+/// bits index the slot directly, like a direct-mapped TLB).
+const MEMO_SLOTS: usize = 4096;
+
 /// A complete simulated machine for one architecture.
 ///
 /// See the crate-level docs for a usage example.
@@ -67,6 +72,17 @@ pub struct System {
     accesses_since_epoch: u64,
     workload: String,
     metrics: Registry,
+    /// Per-core direct-mapped vpn→frame memo over `OsKernel::touch`'s
+    /// resident fast path. Pure memoisation: a hit reproduces exactly the
+    /// resident-touch outcome (paddr, no fault, zero stall), which has no
+    /// kernel side effects. The whole memo is flushed whenever the
+    /// kernel's mapping generation moves (any translation-retiring event:
+    /// swap-out, release, exit, migration), so it can never serve a stale
+    /// frame. Laid out core-major: `core * MEMO_SLOTS + (vpn & mask)`.
+    memo_tags: Vec<u64>,
+    memo_frames: Vec<u64>,
+    memo_gen: u64,
+    memo_enabled: bool,
 }
 
 impl System {
@@ -114,7 +130,21 @@ impl System {
             accesses_since_epoch: 0,
             workload: String::new(),
             metrics: Registry::default(),
+            memo_tags: vec![u64::MAX; params.cores * MEMO_SLOTS],
+            memo_frames: vec![0; params.cores * MEMO_SLOTS],
+            memo_gen: 0,
+            memo_enabled: true,
         }
+    }
+
+    /// Enables or disables the per-core translation memo (on by default).
+    ///
+    /// The memo is an invisible optimisation — reports are bit-identical
+    /// either way (enforced by the hot-path invariance tests); the switch
+    /// exists so those tests can compare both paths.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        self.memo_tags.iter_mut().for_each(|t| *t = u64::MAX);
     }
 
     /// The architecture being simulated.
@@ -411,12 +441,48 @@ impl System {
 
 impl MemorySystem for System {
     fn access(&mut self, core: usize, vaddr: u64, write: bool, now: u64) -> Reply {
-        let pid = self.pids[core];
-        let touch = self
-            .os
-            .touch(pid, vaddr, write, now, self.policy.as_mut())
-            .expect("streams stay within their process footprint");
-        let paddr = touch.paddr;
+        // Translate. The memo short-circuits the kernel for the resident
+        // fast path: a hit reproduces the resident-touch outcome exactly
+        // (paddr, no fault, zero stall — the kernel records nothing on a
+        // resident touch), so simulated behaviour is unchanged.
+        let vpn = vaddr / PAGE_SIZE;
+        let slot = core * MEMO_SLOTS + (vpn as usize & (MEMO_SLOTS - 1));
+        let mut fault_stall = 0;
+        let paddr;
+        if self.memo_enabled {
+            let gen = self.os.mapping_generation();
+            if gen != self.memo_gen {
+                // A translation was retired somewhere since the last
+                // reference; drop everything.
+                self.memo_gen = gen;
+                self.memo_tags.iter_mut().for_each(|t| *t = u64::MAX);
+            }
+            if self.memo_tags[slot] == vpn {
+                paddr = self.memo_frames[slot] + vaddr % PAGE_SIZE;
+            } else {
+                let pid = self.pids[core];
+                let touch = self
+                    .os
+                    .touch(pid, vaddr, write, now, self.policy.as_mut())
+                    .expect("streams stay within their process footprint");
+                paddr = touch.paddr;
+                fault_stall = touch.stall;
+                // The touch itself may have evicted a page to make room;
+                // only cache the fresh translation if no mapping died.
+                if self.os.mapping_generation() == self.memo_gen {
+                    self.memo_tags[slot] = vpn;
+                    self.memo_frames[slot] = paddr - vaddr % PAGE_SIZE;
+                }
+            }
+        } else {
+            let pid = self.pids[core];
+            let touch = self
+                .os
+                .touch(pid, vaddr, write, now, self.policy.as_mut())
+                .expect("streams stay within their process footprint");
+            paddr = touch.paddr;
+            fault_stall = touch.stall;
+        }
 
         let outcome = self.hierarchy.access(core, paddr, write);
         let mut latency = outcome.sram_latency as u64;
@@ -461,7 +527,7 @@ impl MemorySystem for System {
 
         Reply {
             latency,
-            fault_stall: touch.stall,
+            fault_stall,
         }
     }
 }

@@ -1,0 +1,101 @@
+//! The translation memo is pure memoisation: with it on or off, a run
+//! must produce a bit-identical [`chameleon::SystemReport`] — same IPC,
+//! same hit rates, same swap counts, same epoch timeline, same event
+//! trace. These tests enforce that mechanically across every
+//! architecture family the sweep engine exercises, so any future change
+//! that lets the memo observe (or cause) a behavioural difference fails
+//! loudly rather than skewing figures.
+
+use chameleon::{Architecture, ScaledParams, System};
+
+/// Runs one tiny measured cell with the memo forced on or off.
+fn run_cell(arch: Architecture, memo: bool) -> chameleon::SystemReport {
+    let params = ScaledParams::tiny();
+    let mut s = System::new(arch, &params);
+    s.set_memo_enabled(memo);
+    let streams = s.spawn_rate_workload("mcf", 30_000, 11).unwrap();
+    s.prefault_all().unwrap();
+    s.reset_measurement();
+    s.run(streams)
+}
+
+/// Serialised form of a report: the full observable outcome, including
+/// the metrics timeline and trace, with nothing hidden by float rounding
+/// in a Display impl.
+fn canonical(report: &chameleon::SystemReport) -> String {
+    serde_json::to_string(report).expect("reports serialise")
+}
+
+fn assert_memo_invisible(arch: Architecture) {
+    let with_memo = run_cell(arch, true);
+    let without = run_cell(arch, false);
+    assert_eq!(
+        canonical(&with_memo),
+        canonical(&without),
+        "{arch:?}: translation memo changed the simulated outcome"
+    );
+}
+
+#[test]
+fn memo_invisible_pom() {
+    assert_memo_invisible(Architecture::Pom);
+}
+
+#[test]
+fn memo_invisible_chameleon() {
+    assert_memo_invisible(Architecture::Chameleon);
+}
+
+#[test]
+fn memo_invisible_chameleon_opt() {
+    assert_memo_invisible(Architecture::ChameleonOpt);
+}
+
+#[test]
+fn memo_invisible_alloy() {
+    assert_memo_invisible(Architecture::Alloy);
+}
+
+#[test]
+fn memo_invisible_flat_small() {
+    assert_memo_invisible(Architecture::FlatSmall);
+}
+
+/// The memo must also be invisible when mappings churn mid-run: an
+/// AutoNUMA system migrates pages every epoch, exercising the
+/// generation-flush path continuously.
+#[test]
+fn memo_invisible_under_numa_migration() {
+    let run = |memo: bool| {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::AutoNuma { threshold_pct: 90 }, &params);
+        s.set_memo_enabled(memo);
+        s.set_epoch_accesses(500);
+        let streams = s.spawn_rate_workload("stream", 60_000, 3).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        s.run(streams)
+    };
+    assert_eq!(canonical(&run(true)), canonical(&run(false)));
+}
+
+/// Same invariance under swap pressure: an undersized flat memory pages
+/// against the SSD, so translations are retired (and the memo flushed)
+/// throughout the measured run.
+#[test]
+fn memo_invisible_under_swap_pressure() {
+    let run = |memo: bool| {
+        let mut params = ScaledParams::tiny();
+        params.hma.offchip.capacity = chameleon::simkit::mem::ByteSize::mib(16);
+        params.footprint_scale = 64;
+        let mut s = System::new(Architecture::FlatSmall, &params);
+        s.set_memo_enabled(memo);
+        let streams = s.spawn_rate_workload("stream", 60_000, 5).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        s.run(streams)
+    };
+    let a = run(true);
+    assert!(a.major_faults > 0, "cell must actually swap to be a test");
+    assert_eq!(canonical(&a), canonical(&run(false)));
+}
