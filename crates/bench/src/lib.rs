@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness: shared infrastructure for the per-figure runner
 //! binaries (`fig*`, `table*`, `sec6f_isa_overhead`, `repro_all`).
 //!
@@ -46,6 +47,7 @@ impl Harness {
         let out_dir = PathBuf::from(
             std::env::var("CHAMELEON_RESULTS").unwrap_or_else(|_| "results".to_owned()),
         );
+        // INVARIANT: harness setup; an uncreatable results dir is fatal by design.
         std::fs::create_dir_all(&out_dir).expect("create results directory");
         Self {
             params,
@@ -110,8 +112,10 @@ impl Harness {
         let job = Job::new(arch, app.to_owned(), &self.params, Self::BASE_SEED);
         let outcome = self
             .engine()
+            // INVARIANT: a sweep-engine failure (worker panic) is harness-fatal.
             .run(std::slice::from_ref(&job))
             .expect("cell runs");
+        // INVARIANT: run() returns exactly one report per submitted job.
         outcome.reports.into_iter().next().expect("one report")
     }
 
@@ -120,6 +124,7 @@ impl Harness {
     /// bit-identical to a serial run regardless of worker count.
     pub fn run_matrix(&self, archs: &[Architecture], apps: &[String]) -> Vec<SystemReport> {
         let jobs = self.matrix_jobs(archs, apps);
+        // INVARIANT: a sweep-engine failure (worker panic) is harness-fatal.
         let outcome = self.engine().run(&jobs).unwrap_or_else(|e| panic!("{e}"));
         if outcome.cached > 0 {
             println!(
@@ -138,6 +143,8 @@ impl Harness {
     /// Serialises a result to `results/<name>` as pretty JSON.
     pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
         let path = self.result_path(name);
+        // INVARIANT: results are plain data structs; serialisation cannot fail,
+        // and an unwritable results dir is harness-fatal by design.
         let json = serde_json::to_string_pretty(value).expect("serialise result");
         std::fs::write(&path, json).expect("write result file");
         println!("[saved {}]", path.display());

@@ -58,6 +58,7 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is inconsistent (see [`Self::validate`]).
     pub fn sets(&self) -> usize {
+        // INVARIANT: documented panic; geometries are validated at construction.
         self.validate().expect("invalid cache config");
         (self.capacity.bytes() / (self.ways as u64 * self.line_bytes as u64)) as usize
     }

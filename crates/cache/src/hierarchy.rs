@@ -125,6 +125,7 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    // lint: hot-path
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
         let kind = if is_write {
             AccessKind::Write

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! SRAM cache hierarchy model.
 //!
 //! Implements the on-chip cache levels of the paper's Table I: per-core

@@ -282,6 +282,7 @@ impl SetAssocCache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.used)
                 .map(|(i, _)| i)
+                // INVARIANT: ways >= 1 (CacheConfig::validate), set is non-empty.
                 .expect("associativity is non-zero"),
             ReplacementPolicy::Random => {
                 *rng ^= *rng << 13;
@@ -339,6 +340,7 @@ impl SetAssocCache {
                 .enumerate()
                 .min_by_key(|(_, l)| l.used)
                 .map(|(i, _)| i)
+                // INVARIANT: ways >= 1 (CacheConfig::validate), set is non-empty.
                 .expect("associativity is non-zero")
         });
         set[victim_idx] = Line::fill(tag, false, clock, 2);

@@ -22,6 +22,7 @@ macro_rules! delegate_policy {
         }
 
         impl HmaPolicy for $ty {
+            // lint: hot-path
             fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
                 self.machine.access(paddr, write, now)
             }

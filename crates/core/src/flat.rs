@@ -54,6 +54,7 @@ impl IsaHook for FlatPolicy {
 }
 
 impl HmaPolicy for FlatPolicy {
+    // lint: hot-path
     fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
         self.stats.demand_accesses.inc();
         let op = if write { MemOp::Write } else { MemOp::Read };
@@ -164,6 +165,7 @@ impl IsaHook for StaticNumaPolicy {
 }
 
 impl HmaPolicy for StaticNumaPolicy {
+    // lint: hot-path
     fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
         self.stats.demand_accesses.inc();
         let op = if write { MemOp::Write } else { MemOp::Read };

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! CHAMELEON: a dynamically reconfigurable heterogeneous memory system.
 //!
 //! This crate implements the paper's contribution and all the hardware

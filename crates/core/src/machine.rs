@@ -102,6 +102,7 @@ impl RemapMachine {
     }
 
     /// One 64B demand access.
+    // lint: hot-path
     pub(crate) fn access(&mut self, paddr: u64, write: bool, now: Cycle) -> Cycle {
         let loc = self.geom.locate(paddr);
         self.stats.demand_accesses.inc();

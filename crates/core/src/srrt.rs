@@ -91,18 +91,21 @@ impl SrrtEntry {
     }
 
     /// Physical slot currently holding logical segment `l`'s home data.
+    // lint: hot-path
     pub fn physical_of(&self, l: u8) -> u8 {
         debug_assert!(l < self.slots);
         self.remap[l as usize]
     }
 
     /// Logical segment whose home data occupies physical slot `p`.
+    // lint: hot-path
     pub fn logical_in(&self, p: u8) -> u8 {
         debug_assert!(p < self.slots);
         self.inv[p as usize]
     }
 
     /// Swaps the homes of logical segments `a` and `b`.
+    // lint: hot-path
     pub fn swap_homes(&mut self, a: u8, b: u8) {
         debug_assert!(a < self.slots && b < self.slots);
         self.remap.swap(a as usize, b as usize);

@@ -175,6 +175,7 @@ impl Core {
     }
 
     /// Executes one operation. Returns the new local clock.
+    // lint: hot-path
     pub fn step<M: MemorySystem + ?Sized>(&mut self, op: Op, mem: &mut M) -> Cycle {
         match op {
             Op::Compute(n) => {
@@ -187,6 +188,7 @@ impl Core {
                 self.retire_window(1);
                 // Respect the MLP bound.
                 if self.outstanding.len() == self.cfg.mlp {
+                    // INVARIANT: len == mlp >= 1, checked on the previous line.
                     let oldest = self.outstanding.pop_front().expect("len checked");
                     self.stall_until(oldest.complete_at);
                 }

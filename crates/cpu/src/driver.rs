@@ -111,6 +111,7 @@ impl MultiCore {
                 .enumerate()
                 .filter(|(i, _)| live[*i])
                 .min_by_key(|(_, c)| c.clock())
+                // INVARIANT: the loop guard keeps at least one core live here.
                 .expect("live_count > 0");
             // Step a small quantum to amortise the selection cost.
             for _ in 0..32 {

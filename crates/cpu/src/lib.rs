@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Multi-core processor model with bounded memory-level parallelism.
 //!
 //! The paper simulates 12 out-of-order ALPHA cores in GEM5. This crate

@@ -53,6 +53,7 @@ impl AddrDecoder {
     ///
     /// Panics if the configuration fails [`DramConfig::validate`].
     pub fn new(cfg: &DramConfig) -> Self {
+        // INVARIANT: documented panic; mappers are built from validated configs.
         cfg.validate().expect("invalid DRAM config");
         let row_shift = cfg.row_bytes.bytes().trailing_zeros();
         let channel_shift = row_shift;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Bank/bus-level DRAM timing model.
 //!
 //! Models a DRAM device the way the paper's GEM5 memory controllers do, at

@@ -191,6 +191,7 @@ impl ChannelScheduler {
 
     /// FR-FCFS selection from a queue: oldest row-hit first, else oldest
     /// arrived request.
+    // lint: hot-path
     fn select(queue: &[Request], banks: &[Bank], now: Cycle) -> Option<usize> {
         // Single pass, tracking the oldest row-hit and oldest overall.
         // Strict `<` keeps the first of equal arrivals, matching
@@ -237,6 +238,7 @@ impl ChannelScheduler {
                 .chain(self.write_q.iter())
                 .map(|r| r.arrival)
                 .min()
+                // INVARIANT: caller checked pending() > 0; a queue is non-empty.
                 .expect("pending() > 0");
             self.time = self.time.max(next_arrival);
         };

@@ -1,0 +1,17 @@
+//! Fixture: wall-clock and hash-order iteration in sim code (must fail).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Tracker {
+    pages: HashMap<u64, u32>,
+}
+
+pub fn snapshot(t: &Tracker) -> (u64, u128) {
+    let start = Instant::now();
+    let mut sum = 0u64;
+    for (page, count) in t.pages.iter() {
+        sum += page + u64::from(*count);
+    }
+    (sum, start.elapsed().as_nanos())
+}

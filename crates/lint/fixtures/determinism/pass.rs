@@ -1,0 +1,17 @@
+//! Fixture: the deterministic equivalent — ordered map iteration and
+//! simulated cycle counts instead of wall-clock reads.
+
+use std::collections::BTreeMap;
+
+pub struct Tracker {
+    pages: BTreeMap<u64, u32>,
+    now_cycles: u64,
+}
+
+pub fn snapshot(t: &Tracker) -> (u64, u64) {
+    let mut sum = 0u64;
+    for (page, count) in t.pages.iter() {
+        sum += page + u64::from(*count);
+    }
+    (sum, t.now_cycles)
+}

@@ -1,0 +1,18 @@
+//! Edge case: `#[cfg(test)]` modules inside a library file are exempt
+//! from every line rule, even with a hot-path function above them.
+
+// lint: hot-path
+pub fn access(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::access;
+
+    #[test]
+    fn scratch_allocations_are_fine_here() {
+        let v = vec![access(1), access(2)];
+        assert_eq!(*v.first().unwrap(), 3);
+    }
+}

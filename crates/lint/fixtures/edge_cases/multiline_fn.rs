@@ -1,0 +1,18 @@
+//! Edge case: the hot-path annotation must survive a multi-line
+//! signature — the body starts at the brace, not the `fn` line.
+
+// lint: hot-path
+pub fn remap_alloc(
+    table: &mut Vec<u64>,
+    logical: usize,
+) -> u64 {
+    table.push(logical as u64);
+    let v = vec![0u64; 4];
+    v[0]
+}
+
+pub fn cold(
+    n: usize,
+) -> Vec<u64> {
+    (0..n as u64).collect()
+}

@@ -1,0 +1,9 @@
+//! Edge case: Rust block comments nest; tokens inside stay comments.
+
+/* outer /* inner .unwrap() */ still a comment: panic!("x") */
+pub fn clean() -> u32 {
+    /* multi
+       line /* nested Instant::now() */
+       tail */
+    7
+}

@@ -1,0 +1,9 @@
+//! Edge case: panic tokens inside raw strings are data, not code.
+
+pub fn doc() -> &'static str {
+    r#"call .unwrap() and panic!("boom") at your peril"#
+}
+
+pub fn doc_with_guards() -> &'static str {
+    r##"nested "quote # guard" plus .expect("x") and vec![1]"##
+}

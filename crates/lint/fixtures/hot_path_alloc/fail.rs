@@ -1,0 +1,14 @@
+//! Fixture: allocation inside an annotated hot-path body (must fail).
+
+pub struct Stats {
+    samples: Vec<u64>,
+}
+
+// lint: hot-path
+pub fn access(stats: &mut Stats, addr: u64) -> u64 {
+    let v = vec![addr; 4];
+    let boxed = Box::new(addr);
+    let label = format!("{addr}");
+    stats.samples = v;
+    *boxed + label.len() as u64
+}

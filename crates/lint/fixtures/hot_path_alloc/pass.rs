@@ -1,0 +1,14 @@
+//! Fixture: a clean hot-path body; allocation outside any annotated
+//! function is not this rule's business.
+
+// lint: hot-path
+pub fn access(table: &[u64; 64], addr: u64) -> u64 {
+    let idx = (addr as usize) & 63;
+    table[idx].wrapping_add(addr)
+}
+
+pub fn cold_setup() -> Vec<u64> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

@@ -1,0 +1,10 @@
+//! Fixture: unjustified panic sites in library code (must fail).
+
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    let first = *xs.first().unwrap();
+    let item = *xs.get(i).expect("index in range");
+    if first > item {
+        panic!("unordered");
+    }
+    item
+}

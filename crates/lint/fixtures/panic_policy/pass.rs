@@ -1,0 +1,19 @@
+//! Fixture: every panic site carries an adjacent justification, and
+//! `#[cfg(test)]` modules are exempt.
+
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    // INVARIANT: xs is non-empty; validated at configuration load.
+    let first = *xs.first().unwrap();
+    // INVARIANT: i is reduced modulo xs.len() by every caller.
+    let item = *xs.get(i).expect("index in range");
+    first.wrapping_add(item)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unchecked_unwrap_is_fine_in_tests() {
+        let v = [1u64, 2];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: crate root missing the forbid attribute (must fail). The
+//! commented-out copy below must not count:
+// #![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,147 @@
+#![forbid(unsafe_code)]
+//! `chameleon-lint` — workspace invariant linter.
+//!
+//! The simulator's two hardest-won properties are enforced here rather
+//! than by reviewer vigilance:
+//!
+//! * the per-reference spine (`Core::step` → `System::access` →
+//!   `OsKernel::touch` → `Hierarchy::access` → `HmaPolicy::access`,
+//!   plus SRRT remap and the FR-FCFS select) is **allocation-free** —
+//!   one stray `format!` silently costs the 12.66M acc/s hot path;
+//! * parallel sweeps are **bit-identical** to serial ones — one
+//!   wall-clock read or hash-order iteration seeding a simulated
+//!   decision silently breaks the content-addressed result store.
+//!
+//! Four rule families (see `DESIGN.md` §13 for the full table):
+//!
+//! | rule            | contract                                          |
+//! |-----------------|---------------------------------------------------|
+//! | `hot-path-alloc`| no alloc/format tokens in annotated hot functions |
+//! | `determinism`   | no wall-clock/ambient RNG/hash-order in sim code  |
+//! | `panic-policy`  | `unwrap`/`expect`/`panic!` need `// INVARIANT:`   |
+//! | `unsafe-forbid` | every crate root carries `#![forbid(unsafe_code)]`|
+//!
+//! The pass is deliberately dependency-free (the build has no crates.io
+//! access): a line-oriented scanner with comment/string stripping and
+//! brace-depth tracking rather than a `syn` AST walk. That trades a
+//! little precision for zero dependencies and sub-second runtime; the
+//! fixture tests in `tests/` pin the edge cases the approximation must
+//! still get right (raw strings, nested block comments, `#[cfg(test)]`
+//! modules, multi-line signatures).
+
+mod baseline;
+mod scan;
+mod source;
+mod workspace;
+
+pub use baseline::{apply_baseline, load_allowlist, load_baseline, write_baseline, AllowEntry};
+pub use scan::{has_unsafe_forbid, scan_file, DET_BANNED, HOT_PATH_BANNED};
+pub use workspace::{classify, scan_workspace, workspace_root_from, Report};
+
+/// The four enforced rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Allocation/formatting tokens inside `// lint: hot-path` bodies.
+    HotPathAlloc,
+    /// Wall-clock, ambient RNG, or hash-order iteration in sim crates.
+    Determinism,
+    /// Unjustified `unwrap()`/`expect()`/`panic!` in library code.
+    PanicPolicy,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    UnsafeForbid,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in output, baselines and allowlists.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::Determinism => "determinism",
+            Rule::PanicPolicy => "panic-policy",
+            Rule::UnsafeForbid => "unsafe-forbid",
+        }
+    }
+}
+
+/// What kind of target a source file belongs to, derived from its path
+/// inside the crate. Tests, benches, examples and binaries are exempt
+/// from `panic-policy`; benches are additionally exempt from
+/// `determinism` (measurement code times things by design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` library code — all rules apply.
+    Lib,
+    /// `tests/**` integration tests.
+    Test,
+    /// `benches/**` benchmark code.
+    Bench,
+    /// `examples/**`.
+    Example,
+    /// `src/bin/**`, `src/main.rs`, `build.rs`.
+    Bin,
+}
+
+/// Determinism-rule scope for a crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetScope {
+    /// Simulation crates: findings are hard errors.
+    Strict,
+    /// `sweep`/`bench`: wall-clock is legitimate in progress/measurement
+    /// code, but each use must be listed in the checked-in allowlist.
+    Allowlisted,
+    /// Non-simulation code (the linter itself).
+    Off,
+}
+
+/// Per-file scan context.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Target classification (see [`TargetKind`]).
+    pub target: TargetKind,
+    /// Determinism scope of the owning crate.
+    pub determinism: DetScope,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The banned token (or identifier) that matched.
+    pub token: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Line-number-independent identity used by the baseline ratchet:
+    /// `rule|file|token|normalized-code`. Line numbers drift on every
+    /// edit; the normalized code line does not.
+    pub key: String,
+}
+
+impl Finding {
+    /// Builds a finding, deriving the baseline key from the normalized
+    /// source line so the key survives unrelated edits above it.
+    pub fn new(
+        rule: Rule,
+        file: &str,
+        line: usize,
+        token: &str,
+        code: &str,
+        message: String,
+    ) -> Self {
+        let norm: String = code.split_whitespace().collect::<Vec<_>>().join(" ");
+        Self {
+            rule,
+            file: file.to_string(),
+            line,
+            token: token.to_string(),
+            message,
+            key: format!("{}|{}|{}|{}", rule.name(), file, token, norm),
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Line-oriented Rust source preparation.
+//!
+//! Rule matching must never fire on text inside comments, string
+//! literals, or char literals — a doc example mentioning `unwrap()` or a
+//! raw string containing `panic!` is not a violation. This module splits
+//! a file into physical lines where literal *contents* and comment
+//! bodies are blanked out, while the comment text itself is preserved
+//! separately (annotations like `// lint: hot-path` and `// INVARIANT:`
+//! live in comments).
+//!
+//! The lexer handles the constructs that matter for a line scanner:
+//! line and (nested) block comments, string literals with escapes, raw
+//! strings with arbitrary `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! byte strings, char literals, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `&'a str`).
+
+/// One physical source line, split into rule-matchable code and comment
+/// text.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comment bodies and literal contents replaced by a
+    /// single space (delimiting quotes are kept, so call shapes like
+    /// `.expect("…")` survive as `.expect(" ")`).
+    pub code: String,
+    /// Concatenated text of every comment on this line, without the
+    /// comment markers.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+    Char,
+}
+
+/// Splits `text` into sanitized [`Line`]s. Multi-line constructs
+/// (block comments, multi-line strings) carry their state across line
+/// boundaries; the blanked region contributes one space per line so
+/// adjacent tokens never merge.
+pub fn sanitize(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    line.code.push('"');
+                    line.code.push(' ');
+                    i += 1;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    // Skip the whole `b? r #*"` prefix.
+                    while chars[i] != '"' {
+                        i += 1;
+                    }
+                    state = State::RawStr { hashes };
+                    line.code.push('"');
+                    line.code.push(' ');
+                    i += 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    state = State::Str;
+                    line.code.push('"');
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '\'' && char_literal_at(&chars, i) {
+                    state = State::Char;
+                    line.code.push('\'');
+                    line.code.push(' ');
+                    i += 1;
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // escaped char, whatever it is
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Whether a raw-string literal (`r"`, `r#"`, `br##"` …) starts at `i`.
+/// Returns the number of `#` guards.
+fn raw_string_at(chars: &[char], i: usize) -> Option<u32> {
+    if prev_is_ident(chars, i) {
+        return None; // `foo_r"` is the tail of an identifier
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the `"` at `i` is followed by enough `#`s to close a raw
+/// string with `hashes` guards.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Disambiguates a `'` in code position: char literal (enter literal
+/// state) vs lifetime / loop label (plain code).
+fn char_literal_at(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true, // '\n', '\'', '\u{…}'
+        Some(c) if c.is_alphanumeric() || *c == '_' => {
+            // 'a' is a char literal; 'a as in &'a str, 'static, or the
+            // label 'outer: is a lifetime. The difference: a char
+            // literal has a closing quote right after the single char.
+            chars.get(i + 2) == Some(&'\'')
+        }
+        // Punctuation chars: '(', ' ', '{' … are char literals.
+        Some(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        sanitize(text).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_but_kept() {
+        let lines = sanitize("let x = 1; // call .unwrap() here\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_quotes_kept() {
+        let code = code_of("let s = \"panic! and .unwrap()\";\n");
+        assert!(!code[0].contains("panic!"));
+        assert!(code[0].contains("\" \""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let code = code_of(r#"let s = "a \" .unwrap() \" b"; x.foo();"#);
+        assert!(!code[0].contains("unwrap"));
+        assert!(code[0].contains("x.foo()"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = "let s = r#\"calls .unwrap() \"inner\" and panic!\"#; y.bar();\n";
+        let code = code_of(src);
+        assert!(!code[0].contains("unwrap"));
+        assert!(!code[0].contains("panic!"));
+        assert!(code[0].contains("y.bar()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* .unwrap() */ still comment */ b();\n";
+        let lines = sanitize(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(lines[0].comment.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans_lines() {
+        let src = "a();\n/* one\n .unwrap()\n two */\nb();\n";
+        let code = code_of(src);
+        assert_eq!(code.len(), 5);
+        assert!(!code[2].contains("unwrap"));
+        assert!(code[4].contains("b()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, c: char) -> &'a str { if c == 'x' { x } else { x } }\n";
+        let code = code_of(src);
+        // The 'x' literal is blanked; lifetimes survive as code.
+        assert!(code[0].contains("<'a>"));
+        assert!(code[0].contains("&'a str"));
+        assert!(!code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn char_escapes() {
+        let code = code_of("let q = '\\''; let n = '\\n'; z.call();\n");
+        assert!(code[0].contains("z.call()"));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let code = code_of("let b = b\".unwrap()\"; ok();\n");
+        assert!(!code[0].contains("unwrap"));
+        assert!(code[0].contains("ok()"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lines = sanitize("/// Calls `foo.unwrap()` on bad days.\nfn f() {}\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[1].code.contains("fn f()"));
+    }
+}

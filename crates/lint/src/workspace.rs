@@ -1,0 +1,219 @@
+//! Workspace walking and file classification.
+//!
+//! The walker enumerates the root facade package plus every `crates/*`
+//! member and explicitly skips `vendor/` (the offline stand-ins for
+//! crates.io dependencies would otherwise be dragged into every rule by
+//! the `members = ["crates/*", "vendor/*"]` glob), `target/`, and the
+//! linter's own `fixtures/` (which contain violations on purpose).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::AllowEntry;
+use crate::scan::{has_unsafe_forbid, scan_file};
+use crate::{DetScope, FileContext, Finding, Rule, TargetKind};
+
+/// Crates simulating hardware/OS state: any nondeterminism here breaks
+/// bit-identical replay. The facade (root `src/`) drives the same spine
+/// and is held to the same standard.
+const STRICT_DET_CRATES: &[&str] = &[
+    "core",
+    "cache",
+    "cpu",
+    "dram",
+    "os",
+    "workloads",
+    "simkit",
+    "", // the root facade package
+];
+
+/// Crates whose progress/measurement code may read the wall clock, one
+/// allowlist entry per use.
+const ALLOWLISTED_DET_CRATES: &[&str] = &["sweep", "bench"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", "results"];
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of determinism findings suppressed by the allowlist.
+    pub allowlisted: usize,
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Classifies a workspace-relative path (`/`-separated) into its scan
+/// context, or `None` if the file is out of scope (vendored, fixtures,
+/// generated).
+pub fn classify(rel_path: &str) -> Option<FileContext> {
+    let segments: Vec<&str> = rel_path.split('/').collect();
+    let dir_segments = &segments[..segments.len().saturating_sub(1)];
+    if dir_segments.iter().any(|s| SKIP_DIRS.contains(s)) {
+        return None;
+    }
+
+    // Crate name: "" for the root package, the directory name for
+    // crates/* members.
+    let (crate_name, in_crate): (&str, &[&str]) = if segments.first() == Some(&"crates") {
+        if segments.len() < 3 {
+            return None;
+        }
+        (segments[1], &segments[2..])
+    } else {
+        ("", &segments[..])
+    };
+
+    let target = match in_crate.first().copied() {
+        Some("tests") => TargetKind::Test,
+        Some("benches") => TargetKind::Bench,
+        Some("examples") => TargetKind::Example,
+        Some("build.rs") => TargetKind::Bin,
+        Some("src") => {
+            if in_crate.get(1) == Some(&"bin") || in_crate.get(1) == Some(&"main.rs") {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            }
+        }
+        _ => return None,
+    };
+
+    let determinism = if crate_name == "lint" {
+        DetScope::Off
+    } else if STRICT_DET_CRATES.contains(&crate_name) {
+        DetScope::Strict
+    } else if ALLOWLISTED_DET_CRATES.contains(&crate_name) {
+        DetScope::Allowlisted
+    } else {
+        DetScope::Strict // unknown future crates default to strict
+    };
+
+    Some(FileContext {
+        rel_path: rel_path.to_string(),
+        target,
+        determinism,
+    })
+}
+
+/// Scans the whole workspace: every `.rs` file of the root package and
+/// the `crates/*` members, plus the per-crate-root `unsafe-forbid`
+/// check. Determinism findings in [`DetScope::Allowlisted`] crates that
+/// match an allowlist entry are counted but suppressed.
+pub fn scan_workspace(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        crate_dirs.extend(members);
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in &crate_dirs {
+        // Walk only the cargo target directories of each package; walking
+        // the root itself would re-enter `crates/`.
+        for sub in ["src", "tests", "examples", "benches"] {
+            let p = dir.join(sub);
+            if p.is_dir() {
+                collect_rs(&p, &mut files)?;
+            }
+        }
+        let build = dir.join("build.rs");
+        if build.is_file() {
+            files.push(build);
+        }
+    }
+    files.sort();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let text = fs::read_to_string(path)?;
+        report.files_scanned += 1;
+
+        let mut file_findings = Vec::new();
+        scan_file(&ctx, &text, &mut file_findings);
+
+        // Crate roots must forbid unsafe code.
+        if rel.ends_with("src/lib.rs")
+            && (rel == "src/lib.rs" || rel.matches('/').count() == 3)
+            && !has_unsafe_forbid(&text)
+        {
+            file_findings.push(Finding::new(
+                Rule::UnsafeForbid,
+                &rel,
+                1,
+                "#![forbid(unsafe_code)]",
+                "crate-root",
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+
+        for f in file_findings {
+            if ctx.determinism == DetScope::Allowlisted
+                && f.rule == Rule::Determinism
+                && allowlist.iter().any(|a| a.matches(&f))
+            {
+                report.allowlisted += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! The real workspace must be clean: no findings beyond the checked-in
+//! baseline, and no stale baseline entries. This is the same check CI
+//! runs through the binary, kept here so plain `cargo test` catches a
+//! violation without a separate step.
+
+use chameleon_lint::{apply_baseline, load_allowlist, load_baseline, scan_workspace};
+
+#[test]
+fn workspace_has_no_new_or_stale_findings() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root");
+    let allowlist = load_allowlist(&manifest.join("allowlist.txt")).expect("allowlist parses");
+    let report = scan_workspace(root, &allowlist).expect("scan succeeds");
+    assert!(report.files_scanned > 100, "walker lost most of the tree");
+    let baseline = load_baseline(&manifest.join("baseline.txt")).expect("baseline loads");
+    let (new, _baselined, stale) = apply_baseline(&report.findings, &baseline);
+    assert!(
+        new.is_empty(),
+        "new lint findings (annotate or fix them):\n{:#?}",
+        new
+    );
+    assert!(stale.is_empty(), "stale baseline entries: {stale:#?}");
+}

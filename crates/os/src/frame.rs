@@ -195,6 +195,7 @@ impl BuddyAllocator {
             }
             let addr = self.free_lists[order as usize]
                 .pop()
+                // INVARIANT: the split loop above refilled this order's list.
                 .expect("checked non-empty");
             // Entries are lazily invalidated when merged away.
             if self.free_set.remove(&(order, addr)) {

@@ -334,6 +334,7 @@ impl OsKernel {
     /// # Errors
     ///
     /// Returns [`OsError::NoSuchProcess`] or [`OsError::OutOfRange`].
+    // lint: hot-path
     pub fn touch(
         &mut self,
         pid: Pid,
@@ -442,6 +443,7 @@ impl OsKernel {
         self.stats.allocs.inc();
         // Remap: the old translation dies with the move.
         self.mapping_generation += 1;
+        // INVARIANT: reverse[frame] = (pid, vpn) implies the process exists.
         let proc = self.process_mut(pid).expect("reverse map is consistent");
         proc.table.map(vpn * PAGE_SIZE, new_frame);
         self.reverse.remove(&frame_base);
@@ -466,6 +468,7 @@ impl OsKernel {
         // Try THP first when enabled and the whole huge region is
         // untouched.
         if self.cfg.use_thp && self.try_thp(pid, vaddr, now, hook) {
+            // INVARIANT: try_thp returned true: pid exists and vaddr is mapped.
             let proc = self.process(pid).expect("checked by caller");
             return proc.table.translate(vaddr).expect("THP just mapped");
         }
@@ -475,6 +478,7 @@ impl OsKernel {
             l.on_alloc(frame, PAGE_SIZE);
         }
         self.stats.allocs.inc();
+        // INVARIANT: touch() validated pid before taking the fault path.
         let proc = self.process_mut(pid).expect("checked by caller");
         proc.table.map(vaddr, frame);
         let vpn = PageTable::vpn(vaddr);
@@ -487,6 +491,7 @@ impl OsKernel {
         const HUGE: u64 = 2 << 20;
         let huge_base = vaddr & !(HUGE - 1);
         {
+            // INVARIANT: touch() validated pid before taking the fault path.
             let proc = self.process(pid).expect("checked by caller");
             if huge_base + HUGE > proc.footprint {
                 return false;
@@ -509,6 +514,7 @@ impl OsKernel {
             l.on_alloc(block, HUGE);
         }
         self.stats.allocs.inc();
+        // INVARIANT: touch() validated pid before taking the fault path.
         let proc = Self::slot_mut(&mut self.processes, pid).expect("checked by caller");
         for i in 0..HUGE / PAGE_SIZE {
             let va = huge_base + i * PAGE_SIZE;
@@ -567,6 +573,7 @@ impl OsKernel {
                 break;
             }
         }
+        // INVARIANT: the ledger was checked Some at the top of this function.
         let ledger = self.ledger.as_ref().expect("checked above");
         let mut scored: Vec<(i64, u64)> = cands
             .into_iter()
@@ -594,12 +601,14 @@ impl OsKernel {
             let frame = self
                 .fifo
                 .pop_front()
+                // INVARIANT: allocation can only fail while pages are resident.
                 .expect("nothing resident but allocation failed");
             let Some(&(pid, vpn)) = self.reverse.get(&frame) else {
                 continue; // stale entry (freed or migrated)
             };
             self.reverse.remove(&frame);
             self.mapping_generation += 1;
+            // INVARIANT: reverse[frame] = (pid, vpn) implies the process exists.
             let proc = self.process_mut(pid).expect("reverse map is consistent");
             let freed = proc.table.swap_out(vpn * PAGE_SIZE);
             debug_assert_eq!(freed, frame);
@@ -622,6 +631,7 @@ impl OsKernel {
             NodeId::Stacked => self
                 .stacked_alloc
                 .as_mut()
+                // INVARIANT: a stacked-node frame implies the allocator exists.
                 .expect("stacked frame implies visibility")
                 .free(frame, 0),
             NodeId::Offchip => self.offchip_alloc.free(frame, 0),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Operating-system model for the Chameleon heterogeneous memory system.
 //!
 //! Implements the software half of the paper's hardware–software co-design:

@@ -11,7 +11,7 @@
 //! *higher* threshold migrates misplaced pages *more rapidly*: migration
 //! triggers once the sampled remote fraction exceeds `1 - threshold`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -62,8 +62,11 @@ pub struct EpochReport {
 #[derive(Debug)]
 pub struct AutoNuma {
     cfg: AutoNumaConfig,
-    /// Sampled access counts for off-chip pages this epoch.
-    remote_pages: HashMap<u64, u32>,
+    /// Sampled access counts for off-chip pages this epoch. A `BTreeMap`
+    /// so that epoch-end iteration is address-ordered, never hash-ordered
+    /// (the hotness sort below breaks ties by address, and bit-identical
+    /// replay must not depend on map iteration order).
+    remote_pages: BTreeMap<u64, u32>,
     local_accesses: u64,
     remote_accesses: u64,
     reports: Vec<EpochReport>,
@@ -83,7 +86,7 @@ impl AutoNuma {
         );
         Self {
             cfg,
-            remote_pages: HashMap::new(),
+            remote_pages: BTreeMap::new(),
             local_accesses: 0,
             remote_accesses: 0,
             reports: Vec::new(),
@@ -145,6 +148,8 @@ impl AutoNuma {
                         break;
                     }
                     Err(crate::kernel::OsError::NotMapped(_)) => continue,
+                    // INVARIANT: migrate_page only returns MigrationEnomem or
+                    // NotMapped; any other variant is a kernel-model bug.
                     Err(e) => panic!("unexpected migration error: {e}"),
                 }
             }

@@ -96,6 +96,7 @@ impl PageTable {
                 self.resident -= 1;
                 frame
             }
+            // INVARIANT: callers only swap out pages the kernel lists resident.
             other => panic!("swap_out of non-resident page {vpn}: {other:?}"),
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulation kernel for the Chameleon heterogeneous memory simulator.
 //!
 //! This crate provides the domain-neutral building blocks every other crate

@@ -402,6 +402,7 @@ impl Registry {
             gauges: snap.gauges.clone(),
         });
         self.epoch_base = snap;
+        // INVARIANT: pushed three lines above; the vec is non-empty.
         self.epochs.last().expect("epoch just pushed")
     }
 

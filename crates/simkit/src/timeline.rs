@@ -76,7 +76,7 @@ impl Sampler {
         self.samples
             .iter()
             .copied()
-            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"))
+            .max_by(|a, b| a.value.total_cmp(&b.value))
     }
 
     /// The last sample.

@@ -207,6 +207,7 @@ impl SweepEngine {
             .into_inner()
             .expect("slots lock")
             .into_iter()
+            // INVARIANT: the failures branch above returned early.
             .map(|r| r.expect("no failures means every slot is filled"))
             .collect();
         Ok(SweepOutcome {

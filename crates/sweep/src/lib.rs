@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `chameleon-sweep` — deterministic parallel experiment execution.
 //!
 //! The Figures 15–19 / Table II evaluation is a matrix of independent

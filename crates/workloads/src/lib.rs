@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic application and datacenter workload models.
 //!
 //! The paper evaluates 14 applications from SPEC2006, NAS, Mantevo and

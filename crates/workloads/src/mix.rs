@@ -28,6 +28,7 @@ impl WorkloadMix {
     /// Panics if the application is unknown or `cores` is zero.
     pub fn rate(app: &str, cores: usize) -> Self {
         assert!(cores > 0, "at least one core");
+        // INVARIANT: documented panic for unknown application names.
         let spec = AppSpec::by_name(app).unwrap_or_else(|| panic!("unknown application {app:?}"));
         Self {
             name: format!("rate:{}", spec.name),
@@ -42,6 +43,7 @@ impl WorkloadMix {
     /// Panics if either application is unknown or `cores` is zero.
     pub fn pair(a: &str, b: &str, cores: usize) -> Self {
         assert!(cores > 0, "at least one core");
+        // INVARIANT: documented panic for unknown application names.
         let sa = AppSpec::by_name(a).unwrap_or_else(|| panic!("unknown application {a:?}"));
         let sb = AppSpec::by_name(b).unwrap_or_else(|| panic!("unknown application {b:?}"));
         let apps = (0..cores)
@@ -81,7 +83,7 @@ impl WorkloadMix {
     pub fn balanced(cores: usize) -> Self {
         assert!(cores > 0, "at least one core");
         let mut table = AppSpec::table2();
-        table.sort_by(|a, b| b.llc_mpki.partial_cmp(&a.llc_mpki).expect("finite"));
+        table.sort_by(|a, b| b.llc_mpki.total_cmp(&a.llc_mpki));
         let apps: Vec<AppSpec> = (0..cores)
             .map(|i| {
                 if i % 2 == 0 {

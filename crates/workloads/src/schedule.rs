@@ -65,6 +65,7 @@ impl DatacenterSchedule {
         let jobs = order
             .iter()
             .map(|&(name, duration_min)| {
+                // INVARIANT: the figure 3 schedule only names Table II apps.
                 let spec = AppSpec::by_name(name).expect("figure 3 app exists in Table II");
                 Job {
                     app: spec.name.clone(),

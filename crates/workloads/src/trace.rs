@@ -79,11 +79,13 @@ impl Trace {
         if header[7] != VERSION {
             return Err(bad("unsupported trace version"));
         }
+        // INVARIANT: an 8-byte slice of a 16-byte array always converts.
         let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
         let mut ops = Vec::with_capacity(count as usize);
         let mut rec = [0u8; 9];
         for _ in 0..count {
             r.read_exact(&mut rec)?;
+            // INVARIANT: an 8-byte slice of a 9-byte record always converts.
             let payload = u64::from_le_bytes(rec[1..9].try_into().expect("8 bytes"));
             ops.push(match rec[0] {
                 TAG_COMPUTE => {

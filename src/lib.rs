@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # Chameleon
 //!
 //! A full reproduction of *CHAMELEON: A Dynamically Reconfigurable

@@ -440,6 +440,7 @@ impl System {
 }
 
 impl MemorySystem for System {
+    // lint: hot-path
     fn access(&mut self, core: usize, vaddr: u64, write: bool, now: u64) -> Reply {
         // Translate. The memo short-circuits the kernel for the resident
         // fast path: a hit reproduces the resident-touch outcome exactly
@@ -464,6 +465,7 @@ impl MemorySystem for System {
                 let touch = self
                     .os
                     .touch(pid, vaddr, write, now, self.policy.as_mut())
+                    // INVARIANT: streams wrap addresses modulo the footprint.
                     .expect("streams stay within their process footprint");
                 paddr = touch.paddr;
                 fault_stall = touch.stall;
@@ -479,6 +481,7 @@ impl MemorySystem for System {
             let touch = self
                 .os
                 .touch(pid, vaddr, write, now, self.policy.as_mut())
+                // INVARIANT: streams wrap addresses modulo the footprint.
                 .expect("streams stay within their process footprint");
             paddr = touch.paddr;
             fault_stall = touch.stall;
