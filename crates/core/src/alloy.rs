@@ -183,6 +183,11 @@ impl HmaPolicy for AlloyPolicy {
             pom_groups: 0,
         }
     }
+
+    fn stacked_residency(&self) -> (u64, u64) {
+        let resident = self.tags.iter().filter(|t| t.valid).count() as u64 * 64;
+        (resident, self.cfg.stacked.capacity.bytes())
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,13 @@ macro_rules! delegate_policy {
                 self.machine.mode_distribution()
             }
 
+            fn stacked_residency(&self) -> (u64, u64) {
+                (
+                    self.machine.stacked_resident_bytes(),
+                    self.machine.geom.stacked_bytes(),
+                )
+            }
+
             fn events(&self) -> Option<&chameleon_simkit::metrics::EventTrace> {
                 Some(&self.machine.trace)
             }

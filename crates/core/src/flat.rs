@@ -94,6 +94,11 @@ impl HmaPolicy for FlatPolicy {
     fn mode_distribution(&self) -> ModeDistribution {
         ModeDistribution::default()
     }
+
+    fn stacked_residency(&self) -> (u64, u64) {
+        // The stacked device exists but is never populated.
+        (0, self.cfg.stacked.capacity.bytes())
+    }
 }
 
 /// A static NUMA mapping: stacked-range addresses go to the stacked
@@ -217,6 +222,11 @@ impl HmaPolicy for StaticNumaPolicy {
 
     fn mode_distribution(&self) -> ModeDistribution {
         ModeDistribution::default()
+    }
+
+    fn stacked_residency(&self) -> (u64, u64) {
+        // The stacked range is plain OS memory: always fully resident.
+        (self.stacked_bytes, self.stacked_bytes)
     }
 }
 

@@ -19,6 +19,13 @@
 //!   (Qureshi & Loh).
 //! * [`PolymorphicPolicy`] — the Polymorphic-Memory patent baseline
 //!   (Figure 22): free stacked space as cache, but no hot-data swapping.
+//! * [`UnisonPolicy`] — Unison-Cache (Jevdjic et al.): page-granularity
+//!   DRAM cache with footprint prediction and a tag buffer.
+//! * [`MemCachePolicy`] — hot-filtered hybrid (after Bakhshalipour et
+//!   al.): only proven-hot pages enter the stacked cache.
+//! * [`ChFlexPolicy`] — consistent-hashing resizable cache (after Chang
+//!   et al.): OS allocations shrink the cache, frees grow it, with
+//!   minimal remapping on each capacity change.
 //! * [`FlatPolicy`] — homogeneous off-chip-only baselines.
 //!
 //! # Example
@@ -38,26 +45,32 @@
 
 mod alloy;
 mod chameleon;
+mod chflex;
 mod config;
 mod devices;
 pub mod encoding;
 mod flat;
 mod geometry;
 mod machine;
+mod memcache;
 pub mod policy;
 mod pom;
 mod srrt;
 mod stats;
+mod unison;
 
 pub use alloy::AlloyPolicy;
 pub use chameleon::ChameleonPolicy;
+pub use chflex::{ChFlexPolicy, HashRing};
 pub use config::HmaConfig;
 pub use devices::HmaDevices;
 pub use flat::{FlatPolicy, StaticNumaPolicy};
 pub use geometry::{SegLoc, SegmentGeometry};
+pub use memcache::MemCachePolicy;
 pub use policy::{HmaPolicy, ModeDistribution};
 pub use pom::PomPolicy;
 pub use srrt::{Mode, SegmentGroupTable, SrrtEntry, MAX_SLOTS};
 pub use stats::HmaStats;
+pub use unison::{FootprintPredictor, UnisonPolicy};
 
 pub use chameleon::PolymorphicPolicy;

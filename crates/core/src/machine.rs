@@ -93,6 +93,21 @@ impl RemapMachine {
         self.devices = HmaDevices::new(&self.cfg);
     }
 
+    /// Bytes of live data the stacked device currently holds: one full
+    /// segment per PoM-mode group (the stacked physical slot is part of
+    /// memory), plus one per cache-mode group holding a cached copy.
+    pub(crate) fn stacked_resident_bytes(&self) -> u64 {
+        let seg = self.geom.segment_bytes();
+        self.table
+            .iter()
+            .map(|e| match e.mode() {
+                Mode::Pom => seg,
+                Mode::Cache if e.cached().is_some() => seg,
+                Mode::Cache => 0,
+            })
+            .sum()
+    }
+
     pub(crate) fn mode_distribution(&self) -> ModeDistribution {
         let cache = self.table.cache_mode_groups();
         ModeDistribution {

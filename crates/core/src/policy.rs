@@ -64,6 +64,13 @@ pub trait HmaPolicy: IsaHook {
     /// reconfigurable groups report everything as PoM.
     fn mode_distribution(&self) -> ModeDistribution;
 
+    /// Stacked-DRAM occupancy accounting as `(resident, capacity)` bytes:
+    /// how much live data (OS memory plus cached copies) the stacked
+    /// device currently holds, against its capacity. Every implementation
+    /// must keep `resident <= capacity` at all times — the cross-scheme
+    /// conformance battery asserts this at every epoch.
+    fn stacked_residency(&self) -> (u64, u64);
+
     /// The discrete-event trace (mode transitions, swaps, ISA calls,
     /// writebacks), if this architecture records one.
     fn events(&self) -> Option<&EventTrace> {

@@ -33,6 +33,12 @@ pub struct HmaStats {
     /// Accesses that targeted a freed segment (stale writebacks from the
     /// SRAM hierarchy); serviced without touching live data.
     pub stale_accesses: Counter,
+    /// Single-line fetches caused by footprint under-prediction
+    /// (Unison-Cache sector misses within a resident page).
+    pub sector_fetches: Counter,
+    /// Cached segments invalidated because a consistent-hash capacity
+    /// change reassigned their key to a different frame (CH-Flex).
+    pub ring_remaps: Counter,
     /// `ISA-Alloc` segment notifications processed.
     pub isa_allocs: Counter,
     /// `ISA-Free` segment notifications processed.
@@ -87,6 +93,8 @@ impl MetricSource for HmaStats {
         c(reg, "llc_writebacks", &self.llc_writebacks);
         c(reg, "clears", &self.clears);
         c(reg, "stale_accesses", &self.stale_accesses);
+        c(reg, "sector_fetches", &self.sector_fetches);
+        c(reg, "ring_remaps", &self.ring_remaps);
         c(reg, "isa_allocs", &self.isa_allocs);
         c(reg, "isa_frees", &self.isa_frees);
         reg.set_gauge(

@@ -5,8 +5,8 @@
 //! paper's hardware relies on.
 
 use chameleon_core::{
-    encoding, policy::HmaPolicy, ChameleonPolicy, HmaConfig, Mode, PomPolicy, SegmentGeometry,
-    SrrtEntry,
+    encoding, policy::HmaPolicy, ChameleonPolicy, FootprintPredictor, HashRing, HmaConfig, Mode,
+    PomPolicy, SegmentGeometry, SrrtEntry, UnisonPolicy,
 };
 use chameleon_os::isa::IsaHook;
 use chameleon_simkit::mem::ByteSize;
@@ -212,6 +212,102 @@ proptest! {
             let scan = (0..slots).find(|&l| e.physical_of(l) == p).unwrap();
             prop_assert_eq!(e.logical_in(p), scan);
             prop_assert_eq!(e.physical_of(e.logical_in(p)), p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The footprint predictor is bounded (never empty, never beyond the
+    /// page) and recalls exactly what was recorded: after `record(page,
+    /// touched)` the prediction for `page` is `touched ∩ full` — or the
+    /// full page when the recorded footprint was empty, since predicting
+    /// nothing would make every future access a sector miss.
+    #[test]
+    fn footprint_predictor_is_bounded_and_recalls(
+        records in prop::collection::vec((0u64..4096, any::<u64>()), 1..100),
+        probes in prop::collection::vec(0u64..4096, 1..50),
+        lines in prop::sample::select(vec![1u32, 8, 32, 64]),
+    ) {
+        let mut p = FootprintPredictor::new(lines);
+        let full = p.full_mask();
+        for &(page, touched) in &records {
+            p.record(page, touched);
+            let got = p.predict(page);
+            let expect = if touched & full == 0 { full } else { touched & full };
+            prop_assert_eq!(got, expect);
+        }
+        for &page in &probes {
+            let got = p.predict(page);
+            prop_assert!(got != 0, "prediction must never be empty");
+            prop_assert_eq!(got & !full, 0, "prediction must stay within the page");
+        }
+    }
+
+    /// Unison under arbitrary traffic: every access is exactly one of
+    /// {stacked hit, sector fetch, page fill}, the per-frame bitvec
+    /// ordering `dirty ⊆ touched ⊆ fetched` holds, and fetched-line
+    /// residency never exceeds the stacked capacity.
+    #[test]
+    fn unison_invariants_hold_under_random_traffic(
+        refs in prop::collection::vec((0u64..5120, 0u64..32, any::<bool>()), 1..300),
+    ) {
+        let mut u = UnisonPolicy::new(cfg());
+        let mut now = 0u64;
+        for &(page, line, write) in &refs {
+            now += 5_000_000;
+            let addr = (2 << 20) + page * 2048 + line * 64;
+            let lat = u.access(addr, write, now);
+            prop_assert!(lat > 0);
+        }
+        prop_assert!(u.check_invariants(), "frame bitvec ordering violated");
+        let (resident, capacity) = u.stacked_residency();
+        prop_assert!(resident <= capacity);
+        let s = u.stats();
+        prop_assert_eq!(s.demand_accesses.value(), refs.len() as u64);
+        prop_assert_eq!(
+            s.stacked_hits.value() + s.sector_fetches.value() + s.fills.value(),
+            s.demand_accesses.value(),
+            "each access must be exactly one of hit/sector-fetch/fill"
+        );
+    }
+
+    /// Consistent hashing's defining property: removing a frame moves
+    /// only the keys that frame owned — every key owned by a surviving
+    /// frame keeps its assignment — and adding the frame back restores
+    /// the original assignment exactly.
+    #[test]
+    fn ring_resize_moves_only_the_affected_keys(
+        frames in prop::collection::vec(0u32..64, 2..32),
+        victim_sel in any::<u16>(),
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut ring = HashRing::new();
+        for &f in &frames {
+            ring.add(f); // idempotent on duplicates
+        }
+        let victim = frames[victim_sel as usize % frames.len()];
+        let before: Vec<u32> = keys.iter().map(|&k| ring.lookup(k).unwrap()).collect();
+        ring.remove(victim);
+        let survivors_exist = frames.iter().any(|&f| f != victim);
+        for (&k, &owner) in keys.iter().zip(&before) {
+            match ring.lookup(k) {
+                Some(after) => {
+                    prop_assert_ne!(after, victim, "removed frame still owns key {}", k);
+                    if owner != victim {
+                        prop_assert_eq!(
+                            after, owner,
+                            "key {} moved although its owner survived", k
+                        );
+                    }
+                }
+                None => prop_assert!(!survivors_exist),
+            }
+        }
+        ring.add(victim);
+        for (&k, &owner) in keys.iter().zip(&before) {
+            prop_assert_eq!(ring.lookup(k).unwrap(), owner, "re-adding must restore key {}", k);
         }
     }
 }

@@ -35,8 +35,8 @@ const USAGE: &str = "usage: sweeprunner [options]
   --apps a,b,c       applications (default: all Table II apps)
   --archs x,y        architectures (default: the Figure 18 lineup);
                      spellings: flat-small, flat-large, alloy, pom, cameo,
-                     chameleon, chameleon-opt, polymorphic,
-                     numa-first-touch, autonuma-<pct>
+                     chameleon, chameleon-opt, polymorphic, unison,
+                     memcache, ch-flex, numa-first-touch, autonuma-<pct>
   --ratios 3,7       stacked:off-chip ratios (default: the params' own 1:5)
   --instructions N   instruction budget per core (default: CHAMELEON_SCALE)
   --seed N           base seed (default 42)

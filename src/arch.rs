@@ -2,8 +2,8 @@
 //! simulates.
 
 use chameleon_core::{
-    policy::HmaPolicy, AlloyPolicy, ChameleonPolicy, FlatPolicy, HmaConfig, PolymorphicPolicy,
-    PomPolicy, StaticNumaPolicy,
+    policy::HmaPolicy, AlloyPolicy, ChFlexPolicy, ChameleonPolicy, FlatPolicy, HmaConfig,
+    MemCachePolicy, PolymorphicPolicy, PomPolicy, StaticNumaPolicy, UnisonPolicy,
 };
 use chameleon_os::numa::AutoNumaConfig;
 use chameleon_os::{MemoryMap, NodePreference, Visibility};
@@ -31,6 +31,14 @@ pub enum Architecture {
     ChameleonOpt,
     /// Polymorphic Memory (Chung et al.).
     Polymorphic,
+    /// Unison-Cache: footprint-predicting page-granularity DRAM cache
+    /// (Jevdjic et al.).
+    Unison,
+    /// MemCache: hot-filtered hybrid cache (after Bakhshalipour et al.).
+    MemCache,
+    /// CH-Flex: consistent-hashing resizable DRAM cache (after Chang
+    /// et al.).
+    ChFlex,
     /// OS-managed NUMA with the first-touch allocator (Figure 2a).
     NumaFirstTouch,
     /// OS-managed NUMA with AutoNUMA balancing at the given
@@ -54,6 +62,44 @@ impl Architecture {
         ]
     }
 
+    /// Every registered architecture, with a representative AutoNUMA
+    /// threshold standing in for the parameterised variant. Cross-scheme
+    /// suites (conformance, hot-path invariance) iterate this registry so
+    /// a newly added scheme is covered without editing each test.
+    pub fn all() -> Vec<Architecture> {
+        vec![
+            Architecture::FlatSmall,
+            Architecture::FlatLarge,
+            Architecture::Alloy,
+            Architecture::Pom,
+            Architecture::Cameo,
+            Architecture::Chameleon,
+            Architecture::ChameleonOpt,
+            Architecture::Polymorphic,
+            Architecture::Unison,
+            Architecture::MemCache,
+            Architecture::ChFlex,
+            Architecture::NumaFirstTouch,
+            Architecture::AutoNuma { threshold_pct: 90 },
+        ]
+    }
+
+    /// The hardware-managed scheme zoo: everything with an active stacked
+    /// DRAM organisation, for side-by-side sweep grids.
+    pub fn zoo() -> Vec<Architecture> {
+        vec![
+            Architecture::Alloy,
+            Architecture::Pom,
+            Architecture::Cameo,
+            Architecture::Chameleon,
+            Architecture::ChameleonOpt,
+            Architecture::Polymorphic,
+            Architecture::Unison,
+            Architecture::MemCache,
+            Architecture::ChFlex,
+        ]
+    }
+
     /// Display name matching the paper's legends.
     pub fn label(&self) -> String {
         match self {
@@ -65,6 +111,9 @@ impl Architecture {
             Architecture::Chameleon => "Chameleon".to_owned(),
             Architecture::ChameleonOpt => "Chameleon-Opt".to_owned(),
             Architecture::Polymorphic => "Polymorphic_memory".to_owned(),
+            Architecture::Unison => "Unison-Cache".to_owned(),
+            Architecture::MemCache => "MemCache".to_owned(),
+            Architecture::ChFlex => "CH-Flex".to_owned(),
             Architecture::NumaFirstTouch => "numaAware_allocator".to_owned(),
             Architecture::AutoNuma { threshold_pct } => {
                 format!("autoNUMA_{threshold_pct}percent")
@@ -72,47 +121,47 @@ impl Architecture {
         }
     }
 
+    /// Canonical command-line spelling of every fixed architecture; the
+    /// parameterised AutoNUMA variant is spelled `autonuma-<pct>`. This
+    /// single list drives both [`Architecture::parse`] and its
+    /// unknown-name error message, so the two cannot drift apart.
+    pub const CANONICAL: [(&'static str, Architecture); 12] = [
+        ("flat-small", Architecture::FlatSmall),
+        ("flat-large", Architecture::FlatLarge),
+        ("alloy", Architecture::Alloy),
+        ("pom", Architecture::Pom),
+        ("cameo", Architecture::Cameo),
+        ("chameleon", Architecture::Chameleon),
+        ("chameleon-opt", Architecture::ChameleonOpt),
+        ("polymorphic", Architecture::Polymorphic),
+        ("unison", Architecture::Unison),
+        ("memcache", Architecture::MemCache),
+        ("ch-flex", Architecture::ChFlex),
+        ("numa-first-touch", Architecture::NumaFirstTouch),
+    ];
+
     /// Parses an architecture from a command-line spelling. Accepts the
-    /// paper legend labels ([`Architecture::label`]) as well as short
-    /// aliases, case-insensitively and ignoring `-`/`_`/space: `alloy`,
-    /// `pom`, `cameo`, `chameleon`, `chameleon-opt`, `polymorphic`,
-    /// `flat-small`, `flat-large`, `numa-first-touch`, `autonuma-<pct>`.
+    /// canonical names ([`Architecture::CANONICAL`]) and the paper legend
+    /// labels ([`Architecture::label`]), case-insensitively and ignoring
+    /// `-`/`_`/space, plus `autonuma-<pct>` for the AutoNUMA variant.
     ///
     /// # Errors
     ///
-    /// Returns a message listing the accepted spellings.
+    /// Returns a message listing every accepted canonical name.
     pub fn parse(spec: &str) -> Result<Architecture, String> {
-        let norm: String = spec
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .collect::<String>()
-            .to_ascii_lowercase();
-        let fixed = [
-            (Architecture::FlatSmall, "flatsmall"),
-            (Architecture::FlatLarge, "flatlarge"),
-            (Architecture::Alloy, "alloy"),
-            (Architecture::Alloy, "alloycache"),
-            (Architecture::Pom, "pom"),
-            (Architecture::Cameo, "cameo"),
-            (Architecture::Chameleon, "chameleon"),
-            (Architecture::ChameleonOpt, "chameleonopt"),
-            (Architecture::Polymorphic, "polymorphic"),
-            (Architecture::Polymorphic, "polymorphicmemory"),
-            (Architecture::NumaFirstTouch, "numafirsttouch"),
-            (Architecture::NumaFirstTouch, "numaawareallocator"),
-        ];
-        for (arch, alias) in fixed {
-            let label_norm: String = arch
-                .label()
-                .chars()
+        fn norm(s: &str) -> String {
+            s.chars()
                 .filter(|c| c.is_ascii_alphanumeric())
                 .collect::<String>()
-                .to_ascii_lowercase();
-            if norm == alias || norm == label_norm {
+                .to_ascii_lowercase()
+        }
+        let wanted = norm(spec);
+        for (canonical, arch) in Architecture::CANONICAL {
+            if wanted == norm(canonical) || wanted == norm(&arch.label()) {
                 return Ok(arch);
             }
         }
-        if let Some(rest) = norm.strip_prefix("autonuma") {
+        if let Some(rest) = wanted.strip_prefix("autonuma") {
             let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
             if let Ok(pct) = digits.parse::<u8>() {
                 if (1..=100).contains(&pct) {
@@ -123,19 +172,22 @@ impl Architecture {
                 "bad AutoNUMA spec {spec:?}: expected autonuma-<pct> with pct in 1..=100"
             ));
         }
+        let names: Vec<&str> = Architecture::CANONICAL.iter().map(|(n, _)| *n).collect();
         Err(format!(
-            "unknown architecture {spec:?}; accepted: flat-small, flat-large, alloy, pom, \
-             cameo, chameleon, chameleon-opt, polymorphic, numa-first-touch, autonuma-<pct>, \
-             or any paper legend label"
+            "unknown architecture {spec:?}; accepted: {}, autonuma-<pct>, \
+             or any paper legend label",
+            names.join(", ")
         ))
     }
 
     /// Whether the OS sees the stacked DRAM as allocatable memory.
     pub fn visibility(&self) -> Visibility {
         match self {
-            Architecture::FlatSmall | Architecture::FlatLarge | Architecture::Alloy => {
-                Visibility::OffchipOnly
-            }
+            Architecture::FlatSmall
+            | Architecture::FlatLarge
+            | Architecture::Alloy
+            | Architecture::Unison
+            | Architecture::MemCache => Visibility::OffchipOnly,
             _ => Visibility::Both,
         }
     }
@@ -181,6 +233,9 @@ impl Architecture {
             Architecture::Chameleon => Box::new(ChameleonPolicy::new_basic(hma.clone())),
             Architecture::ChameleonOpt => Box::new(ChameleonPolicy::new_opt(hma.clone())),
             Architecture::Polymorphic => Box::new(PolymorphicPolicy::new(hma.clone())),
+            Architecture::Unison => Box::new(UnisonPolicy::new(hma.clone())),
+            Architecture::MemCache => Box::new(MemCachePolicy::new(hma.clone())),
+            Architecture::ChFlex => Box::new(ChFlexPolicy::new(hma.clone())),
             Architecture::NumaFirstTouch | Architecture::AutoNuma { .. } => {
                 Box::new(StaticNumaPolicy::new(hma.clone()))
             }
@@ -207,7 +262,10 @@ mod tests {
     #[test]
     fn visibility_split() {
         assert_eq!(Architecture::Alloy.visibility(), Visibility::OffchipOnly);
+        assert_eq!(Architecture::Unison.visibility(), Visibility::OffchipOnly);
+        assert_eq!(Architecture::MemCache.visibility(), Visibility::OffchipOnly);
         assert_eq!(Architecture::Pom.visibility(), Visibility::Both);
+        assert_eq!(Architecture::ChFlex.visibility(), Visibility::Both);
         assert_eq!(Architecture::ChameleonOpt.visibility(), Visibility::Both);
     }
 
@@ -230,6 +288,9 @@ mod tests {
             (Architecture::Chameleon, "Chameleon"),
             (Architecture::ChameleonOpt, "Chameleon-Opt"),
             (Architecture::Polymorphic, "Polymorphic"),
+            (Architecture::Unison, "Unison-Cache"),
+            (Architecture::MemCache, "MemCache"),
+            (Architecture::ChFlex, "CH-Flex"),
             (Architecture::NumaFirstTouch, "Static-NUMA"),
         ] {
             assert_eq!(arch.build_policy(&hma).name(), name, "{arch:?}");
@@ -280,11 +341,61 @@ mod tests {
             Architecture::parse("autoNUMA_80percent").unwrap(),
             Architecture::AutoNuma { threshold_pct: 80 }
         );
-        assert!(Architecture::parse("doom").is_err());
+        assert_eq!(
+            Architecture::parse("Unison-Cache").unwrap(),
+            Architecture::Unison
+        );
+        assert_eq!(
+            Architecture::parse("ch_flex").unwrap(),
+            Architecture::ChFlex
+        );
+        assert_eq!(
+            Architecture::parse("MEMCACHE").unwrap(),
+            Architecture::MemCache
+        );
         assert!(Architecture::parse("autonuma-200").is_err());
-        // Round-trip: every figure-18 label parses back to itself.
-        for arch in Architecture::figure18() {
-            assert_eq!(Architecture::parse(&arch.label()).unwrap(), arch);
+    }
+
+    #[test]
+    fn parse_round_trips_every_registered_architecture() {
+        for arch in Architecture::all() {
+            assert_eq!(
+                Architecture::parse(&arch.label()).unwrap(),
+                arch,
+                "label round-trip for {arch:?}"
+            );
+        }
+        for (canonical, arch) in Architecture::CANONICAL {
+            assert_eq!(Architecture::parse(canonical).unwrap(), arch);
+        }
+    }
+
+    #[test]
+    fn unknown_architecture_error_lists_valid_names() {
+        let err = Architecture::parse("doom").unwrap_err();
+        assert!(err.contains("doom"), "echoes the bad input: {err}");
+        for (canonical, _) in Architecture::CANONICAL {
+            assert!(
+                err.contains(canonical),
+                "error must list {canonical}: {err}"
+            );
+        }
+        assert!(err.contains("autonuma-<pct>"), "{err}");
+    }
+
+    #[test]
+    fn registry_covers_every_variant_once() {
+        let all = Architecture::all();
+        assert_eq!(all.len(), 13);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "duplicate registry entry");
+            }
+        }
+        // The zoo is the hardware-managed subset of the registry.
+        for z in Architecture::zoo() {
+            assert!(all.contains(&z), "{z:?} missing from all()");
+            assert!(z.autonuma().is_none());
         }
     }
 

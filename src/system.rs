@@ -184,6 +184,11 @@ impl System {
         cores: usize,
     ) {
         policy.stats().publish("hma.", reg);
+        // Occupancy as gauges so every epoch records an absolute reading
+        // (counter deltas cannot express a shrinking value).
+        let (resident, capacity) = policy.stacked_residency();
+        reg.set_gauge("hma.residency.resident_bytes", resident as f64);
+        reg.set_gauge("hma.residency.capacity_bytes", capacity as f64);
         let mode = policy.mode_distribution();
         reg.set_counter("hma.mode.cache_groups", mode.cache_groups);
         reg.set_counter("hma.mode.pom_groups", mode.pom_groups);

@@ -1,9 +1,10 @@
 //! The translation memo is pure memoisation: with it on or off, a run
 //! must produce a bit-identical [`chameleon::SystemReport`] — same IPC,
 //! same hit rates, same swap counts, same epoch timeline, same event
-//! trace. These tests enforce that mechanically across every
-//! architecture family the sweep engine exercises, so any future change
-//! that lets the memo observe (or cause) a behavioural difference fails
+//! trace. These tests enforce that mechanically across *every*
+//! registered architecture ([`Architecture::all`]), so a new scheme is
+//! covered the moment it joins the registry and any future change that
+//! lets the memo observe (or cause) a behavioural difference fails
 //! loudly rather than skewing figures.
 
 use chameleon::{Architecture, ScaledParams, System};
@@ -26,39 +27,20 @@ fn canonical(report: &chameleon::SystemReport) -> String {
     serde_json::to_string(report).expect("reports serialise")
 }
 
-fn assert_memo_invisible(arch: Architecture) {
-    let with_memo = run_cell(arch, true);
-    let without = run_cell(arch, false);
-    assert_eq!(
-        canonical(&with_memo),
-        canonical(&without),
-        "{arch:?}: translation memo changed the simulated outcome"
-    );
-}
-
+/// Every registered architecture, not a hand-maintained list: adding a
+/// scheme to [`Architecture::all`] automatically puts it under the memo
+/// invariance contract.
 #[test]
-fn memo_invisible_pom() {
-    assert_memo_invisible(Architecture::Pom);
-}
-
-#[test]
-fn memo_invisible_chameleon() {
-    assert_memo_invisible(Architecture::Chameleon);
-}
-
-#[test]
-fn memo_invisible_chameleon_opt() {
-    assert_memo_invisible(Architecture::ChameleonOpt);
-}
-
-#[test]
-fn memo_invisible_alloy() {
-    assert_memo_invisible(Architecture::Alloy);
-}
-
-#[test]
-fn memo_invisible_flat_small() {
-    assert_memo_invisible(Architecture::FlatSmall);
+fn memo_invisible_for_every_registered_architecture() {
+    for arch in Architecture::all() {
+        let with_memo = run_cell(arch, true);
+        let without = run_cell(arch, false);
+        assert_eq!(
+            canonical(&with_memo),
+            canonical(&without),
+            "{arch:?}: translation memo changed the simulated outcome"
+        );
+    }
 }
 
 /// The memo must also be invisible when mappings churn mid-run: an

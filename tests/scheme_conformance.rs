@@ -1,0 +1,248 @@
+//! Cross-scheme conformance battery: every registered memory
+//! organisation ([`Architecture::all`]) must satisfy the same observable
+//! contracts, whatever its internal mechanism. A new `HmaPolicy`
+//! implementation only has to be added to the registry to be covered:
+//!
+//! * **Access conservation** — every reference issued to the policy
+//!   records exactly one requester-visible latency, the stacked/buffer/
+//!   stale service classes never exceed the references issued, and the
+//!   hit rate stays a probability.
+//! * **Residency accounting** — stacked-DRAM occupancy never exceeds
+//!   capacity, at the end of *every* metrics epoch, not just at the end
+//!   of the run.
+//! * **Metrics schema** — each scheme publishes the full `hma.*` counter
+//!   family (scheme-specific counters included, at zero when unused), the
+//!   residency gauges, and the device/OS prefixes.
+//! * **Bit-identical replay** — the translation memo and the sweep
+//!   engine's worker count are pure optimisations: toggling either must
+//!   reproduce byte-identical reports.
+//! * **Lint cleanliness** — the hot-path/determinism/panic contracts hold
+//!   across the workspace with no findings beyond the checked-in
+//!   baseline, so a new scheme cannot land with hot-path regressions.
+
+use chameleon::{Architecture, ScaledParams, System, SystemReport};
+use chameleon_sweep::{Job, SweepEngine};
+
+/// Instruction budget per core for one battery cell: enough traffic to
+/// close several metrics epochs and exercise fills/evictions at the tiny
+/// scale, small enough that 13 architectures stay test-suite friendly.
+const INSTRUCTIONS: u64 = 20_000;
+
+/// Epoch length in LLC misses; short so each cell closes many epochs and
+/// the per-epoch residency assertion actually samples mid-run states.
+const EPOCH_ACCESSES: u64 = 500;
+
+/// Conservation-relevant counters snapshotted from the live policy
+/// (the serialised report does not carry the raw `RunningStat`s).
+struct Conservation {
+    demand: u64,
+    latency_samples: u64,
+    stacked_hits: u64,
+    buffer_hits: u64,
+    stale: u64,
+}
+
+/// Runs one tiny measured cell and returns the report plus the policy's
+/// conservation counters.
+fn run_cell(arch: Architecture, memo: bool) -> (SystemReport, Conservation) {
+    let params = ScaledParams::tiny();
+    let mut s = System::new(arch, &params);
+    s.set_memo_enabled(memo);
+    s.set_epoch_accesses(EPOCH_ACCESSES);
+    let streams = s.spawn_rate_workload("mcf", INSTRUCTIONS, 7).unwrap();
+    s.prefault_all().unwrap();
+    s.reset_measurement();
+    let report = s.run(streams);
+    let stats = s.policy().stats();
+    let conservation = Conservation {
+        demand: stats.demand_accesses.value(),
+        latency_samples: stats.access_latency.count(),
+        stacked_hits: stats.stacked_hits.value(),
+        buffer_hits: stats.buffer_hits.value(),
+        stale: stats.stale_accesses.value(),
+    };
+    (report, conservation)
+}
+
+fn canonical(report: &SystemReport) -> String {
+    serde_json::to_string(report).expect("reports serialise")
+}
+
+/// Every `hma.` counter a policy must publish, scheme-specific ones
+/// included: an unused mechanism reports zero, it does not vanish from
+/// the schema.
+const REQUIRED_HMA_COUNTERS: [&str; 16] = [
+    "hma.demand_accesses",
+    "hma.stacked_hits",
+    "hma.buffer_hits",
+    "hma.swaps",
+    "hma.isa_swaps",
+    "hma.fills",
+    "hma.writebacks",
+    "hma.llc_writebacks",
+    "hma.clears",
+    "hma.stale_accesses",
+    "hma.sector_fetches",
+    "hma.ring_remaps",
+    "hma.isa_allocs",
+    "hma.isa_frees",
+    "hma.mode.cache_groups",
+    "hma.mode.pom_groups",
+];
+
+#[test]
+fn access_conservation_holds_for_every_architecture() {
+    for arch in Architecture::all() {
+        let (report, c) = run_cell(arch, true);
+        assert!(c.demand > 0, "{arch:?}: cell issued no memory references");
+        assert_eq!(
+            c.latency_samples, c.demand,
+            "{arch:?}: each reference must record exactly one latency"
+        );
+        assert!(
+            c.stacked_hits + c.buffer_hits + c.stale <= c.demand,
+            "{arch:?}: service classes exceed references issued \
+             ({} + {} + {} > {})",
+            c.stacked_hits,
+            c.buffer_hits,
+            c.stale,
+            c.demand
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.stacked_hit_rate),
+            "{arch:?}: hit rate {} is not a probability",
+            report.stacked_hit_rate
+        );
+        assert!(report.amat > 0.0, "{arch:?}: AMAT must be positive");
+    }
+}
+
+#[test]
+fn residency_stays_within_capacity_every_epoch() {
+    for arch in Architecture::all() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(arch, &params);
+        s.set_epoch_accesses(EPOCH_ACCESSES);
+        let streams = s.spawn_rate_workload("mcf", INSTRUCTIONS, 7).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        let report = s.run(streams);
+        let (resident, capacity) = s.policy().stacked_residency();
+        assert!(capacity > 0, "{arch:?}: capacity must be non-zero");
+        assert!(
+            resident <= capacity,
+            "{arch:?}: final residency {resident} exceeds capacity {capacity}"
+        );
+        assert!(
+            !report.metrics.epochs.is_empty(),
+            "{arch:?}: cell must close at least one epoch"
+        );
+        for epoch in &report.metrics.epochs {
+            let r = epoch.gauges["hma.residency.resident_bytes"];
+            let cap = epoch.gauges["hma.residency.capacity_bytes"];
+            assert!(
+                r <= cap,
+                "{arch:?} epoch {}: residency {r} exceeds capacity {cap}",
+                epoch.index
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_schema_is_complete_for_every_architecture() {
+    for arch in Architecture::all() {
+        let (report, _) = run_cell(arch, true);
+        let m = &report.metrics;
+        assert_eq!(
+            m.schema_version,
+            chameleon_simkit::metrics::SCHEMA_VERSION,
+            "{arch:?}"
+        );
+        for key in REQUIRED_HMA_COUNTERS {
+            assert!(
+                m.counters.contains_key(key),
+                "{arch:?}: missing counter {key}; have: {:?}",
+                m.counters.keys().collect::<Vec<_>>()
+            );
+        }
+        for key in [
+            "hma.stacked_hit_rate",
+            "hma.mode.cache_fraction",
+            "hma.residency.resident_bytes",
+            "hma.residency.capacity_bytes",
+        ] {
+            assert!(m.gauges.contains_key(key), "{arch:?}: missing gauge {key}");
+        }
+        for prefix in ["dram.stacked.", "dram.offchip.", "cache.l3.", "os."] {
+            assert!(
+                m.counters.keys().any(|k| k.starts_with(prefix)),
+                "{arch:?}: no counters under {prefix}"
+            );
+        }
+        // The registry mirrors the legacy report fields exactly.
+        assert_eq!(m.counters["hma.demand_accesses"], {
+            let (_, c) = run_cell(arch, true);
+            c.demand
+        });
+    }
+}
+
+#[test]
+fn memo_replay_is_bit_identical_for_every_architecture() {
+    for arch in Architecture::all() {
+        let (with_memo, _) = run_cell(arch, true);
+        let (without, _) = run_cell(arch, false);
+        assert_eq!(
+            canonical(&with_memo),
+            canonical(&without),
+            "{arch:?}: translation memo changed the simulated outcome"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_bit_identical() {
+    let mut params = ScaledParams::tiny();
+    params.instructions_per_core = 10_000;
+    let jobs: Vec<Job> = Architecture::zoo()
+        .into_iter()
+        .map(|arch| Job::new(arch, "mcf", &params, 3))
+        .collect();
+    let serial = SweepEngine::new()
+        .with_workers(1)
+        .quiet()
+        .run(&jobs)
+        .expect("serial sweep runs");
+    let parallel = SweepEngine::new()
+        .with_workers(4)
+        .quiet()
+        .run(&jobs)
+        .expect("parallel sweep runs");
+    assert_eq!(serial.reports.len(), jobs.len());
+    assert_eq!(parallel.reports.len(), jobs.len());
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(
+            canonical(s),
+            canonical(p),
+            "{}: worker count changed the simulated outcome",
+            s.arch
+        );
+    }
+}
+
+/// The lint contracts (hot-path allocation bans, determinism, panic
+/// policy) hold with no findings beyond the checked-in baseline — a new
+/// scheme cannot buy its way in with allowlist entries.
+#[test]
+fn workspace_lint_battery_has_no_new_findings() {
+    use chameleon_lint::{apply_baseline, load_allowlist, load_baseline, scan_workspace};
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let lint_dir = root.join("crates/lint");
+    let allowlist = load_allowlist(&lint_dir.join("allowlist.txt")).expect("allowlist parses");
+    let report = scan_workspace(root, &allowlist).expect("scan succeeds");
+    let baseline = load_baseline(&lint_dir.join("baseline.txt")).expect("baseline loads");
+    let (new, _baselined, stale) = apply_baseline(&report.findings, &baseline);
+    assert!(new.is_empty(), "new lint findings:\n{new:#?}");
+    assert!(stale.is_empty(), "stale baseline entries: {stale:#?}");
+}
