@@ -220,6 +220,17 @@ impl Core {
         self.report.fault_stall_cycles += cycles;
     }
 
+    /// Advances the local clock to `when` without attributing the gap to
+    /// memory or fault stalls: the core sat idle between jobs. Scenario
+    /// drivers use this to keep time-sliced cores on a common timeline;
+    /// a `when` in the past is a no-op.
+    pub fn advance_to(&mut self, when: Cycle) {
+        if when > self.clock {
+            self.clock = when;
+            self.report.cycles = self.clock;
+        }
+    }
+
     /// Waits for all outstanding accesses; call once the stream ends.
     pub fn drain(&mut self) {
         while let Some(o) = self.outstanding.pop_front() {

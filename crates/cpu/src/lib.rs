@@ -66,6 +66,15 @@ pub trait InstructionStream {
     fn next_op(&mut self) -> Option<Op>;
 }
 
+/// A mutable borrow is itself a stream, so drivers that time-slice
+/// long-lived streams (the scenario layer) can lend them to
+/// [`MultiCore::run`] one quantum at a time without giving up ownership.
+impl<S: InstructionStream + ?Sized> InstructionStream for &mut S {
+    fn next_op(&mut self) -> Option<Op> {
+        (**self).next_op()
+    }
+}
+
 /// Reply from the memory system for one access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reply {

@@ -88,6 +88,29 @@ pub struct TouchOutcome {
     pub stall: Cycle,
 }
 
+/// One placement hint from the guidance tier: move `page` to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementHint {
+    /// Physical address of the page to move (any byte within it).
+    pub page: u64,
+    /// Node the page should live on.
+    pub target: NodeId,
+}
+
+/// Outcome of one [`OsKernel::apply_hints`] batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HintOutcome {
+    /// Pages moved into the stacked node.
+    pub promoted: u64,
+    /// Pages moved out to the off-chip node.
+    pub demoted: u64,
+    /// Hints that failed with `-ENOMEM`.
+    pub enomem: u64,
+    /// Every applied move as `(old_page, new_page, target)`, so the
+    /// guidance tier can re-point its tracking at the new frames.
+    pub applied: Vec<(u64, u64, NodeId)>,
+}
+
 /// Kernel errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OsError {
@@ -452,6 +475,56 @@ impl OsKernel {
         self.free_frame(frame_base, now, hook);
         self.stats.migrations.inc();
         Ok(new_frame)
+    }
+
+    /// Applies a batch of placement hints from the online guidance tier
+    /// (`crate::guidance`), in order. Each hint migrates one page via
+    /// [`OsKernel::migrate_page`]; once a target node reports `-ENOMEM`,
+    /// remaining hints for *that* node are skipped (the other direction
+    /// keeps going), mirroring how a real madvise-style batch degrades.
+    /// Unmapped pages (raced by an exit or swap-out) are skipped silently.
+    pub fn apply_hints(
+        &mut self,
+        hints: &[PlacementHint],
+        now: Cycle,
+        hook: &mut dyn IsaHook,
+    ) -> HintOutcome {
+        let mut out = HintOutcome::default();
+        let mut stacked_full = false;
+        let mut offchip_full = false;
+        for hint in hints {
+            let full = match hint.target {
+                NodeId::Stacked => &mut stacked_full,
+                NodeId::Offchip => &mut offchip_full,
+            };
+            if *full {
+                continue;
+            }
+            match self.migrate_page(hint.page, hint.target, now, hook) {
+                Ok(new_frame) => {
+                    match hint.target {
+                        NodeId::Stacked => {
+                            out.promoted += 1;
+                            self.stats.hint_promotions.inc();
+                        }
+                        NodeId::Offchip => {
+                            out.demoted += 1;
+                            self.stats.hint_demotions.inc();
+                        }
+                    }
+                    out.applied.push((hint.page, new_frame, hint.target));
+                }
+                Err(OsError::MigrationEnomem) => {
+                    out.enomem += 1;
+                    self.stats.hint_enomem.inc();
+                    *full = true;
+                }
+                // NotMapped (or any future variant): the page is gone;
+                // skip the hint.
+                Err(_) => {}
+            }
+        }
+        out
     }
 
     /// The OS-side group ledger, when group-aware placement is enabled.

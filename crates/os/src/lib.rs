@@ -29,6 +29,7 @@
 
 pub mod buffer_cache;
 pub mod frame;
+pub mod guidance;
 pub mod isa;
 pub mod kernel;
 pub mod ledger;
@@ -38,5 +39,8 @@ pub mod stats;
 pub mod swap;
 
 pub use frame::{BuddyAllocator, MemoryMap, NodeId, NodePreference};
-pub use kernel::{FaultKind, OsConfig, OsError, OsKernel, Pid, TouchOutcome, Visibility};
+pub use kernel::{
+    FaultKind, HintOutcome, OsConfig, OsError, OsKernel, Pid, PlacementHint, TouchOutcome,
+    Visibility,
+};
 pub use stats::OsStats;

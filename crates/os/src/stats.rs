@@ -23,6 +23,12 @@ pub struct OsStats {
     pub migration_enomem: Counter,
     /// Total CPU cycles spent stalled in page faults.
     pub fault_stall_cycles: Counter,
+    /// Guidance-tier hints that promoted a page into the stacked node.
+    pub hint_promotions: Counter,
+    /// Guidance-tier hints that demoted a page to the off-chip node.
+    pub hint_demotions: Counter,
+    /// Guidance-tier hints that failed with -ENOMEM.
+    pub hint_enomem: Counter,
 }
 
 impl OsStats {
@@ -45,6 +51,9 @@ impl MetricSource for OsStats {
             &format!("{prefix}fault_stall_cycles"),
             &self.fault_stall_cycles,
         );
+        reg.set_counter_from(&format!("{prefix}hint_promotions"), &self.hint_promotions);
+        reg.set_counter_from(&format!("{prefix}hint_demotions"), &self.hint_demotions);
+        reg.set_counter_from(&format!("{prefix}hint_enomem"), &self.hint_enomem);
         reg.set_counter(&format!("{prefix}total_faults"), self.total_faults());
     }
 }

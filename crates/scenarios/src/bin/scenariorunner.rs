@@ -1,0 +1,161 @@
+//! `scenariorunner` — run a multi-tenant scenario across architectures
+//! and report per-class slowdowns.
+//!
+//! ```text
+//! scenariorunner [--scenario small|medium|thousand]
+//!                [--archs guided,autonuma-90,numa-first-touch]
+//!                [--params tiny|laptop] [--seed N] [--workers N]
+//!                [--out reports.json]
+//! ```
+//!
+//! Defaults sweep the online-guidance placement policy against AutoNUMA
+//! and the first-touch allocator on the small scenario. Output is one
+//! row per architecture with per-class p50/p99 slowdown, stacked-DRAM
+//! hit rate and pressure time; `--out` dumps the full reports (per-job
+//! timelines included) as JSON.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use chameleon::{Architecture, ScaledParams};
+use chameleon_scenarios::{run_grid, ScenarioSpec};
+
+struct Options {
+    scenario: String,
+    archs: Vec<Architecture>,
+    params: String,
+    seed: u64,
+    workers: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: scenariorunner [options]
+  --scenario NAME    scenario preset: small, medium, thousand (default small)
+  --archs x,y        architectures (default: guided,autonuma-90,numa-first-touch);
+                     any sweeprunner spelling works
+  --params NAME      machine scale: tiny, laptop (default tiny)
+  --seed N           scenario seed (default 42)
+  --workers N        grid worker threads (default: one per architecture)
+  --out FILE         dump the full reports to FILE (JSON)
+  --help             this message";
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        scenario: "small".to_owned(),
+        archs: Vec::new(),
+        params: "tiny".to_owned(),
+        seed: 42,
+        workers: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => opts.scenario = value("--scenario")?,
+            "--archs" => {
+                for spec in value("--archs")?.split(',') {
+                    let spec = spec.trim();
+                    if !spec.is_empty() {
+                        opts.archs.push(Architecture::parse(spec)?);
+                    }
+                }
+            }
+            "--params" => opts.params = value("--params")?,
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --workers {v:?}: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+                opts.workers = Some(n);
+            }
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("scenariorunner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ScenarioSpec::by_name(&opts.scenario) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenariorunner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = match opts.params.as_str() {
+        "tiny" => ScaledParams::tiny(),
+        "laptop" => ScaledParams::laptop(),
+        other => {
+            eprintln!("scenariorunner: unknown --params {other:?}; accepted: tiny, laptop");
+            return ExitCode::FAILURE;
+        }
+    };
+    let archs = if opts.archs.is_empty() {
+        vec![
+            Architecture::Guided,
+            Architecture::AutoNuma { threshold_pct: 90 },
+            Architecture::NumaFirstTouch,
+        ]
+    } else {
+        opts.archs
+    };
+    let workers = opts.workers.unwrap_or(archs.len());
+
+    println!(
+        "[scenariorunner] scenario {} ({} jobs) x {} arch(s), seed {}, {} worker(s)",
+        spec.name,
+        spec.total_jobs(),
+        archs.len(),
+        opts.seed,
+        workers,
+    );
+    let reports = run_grid(&archs, &params, &spec, opts.seed, workers);
+
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "arch", "lat-p50", "lat-p99", "bat-p50", "bat-p99", "hit-rate", "pressure-cyc"
+    );
+    for r in &reports {
+        println!(
+            "{:<24} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.1}% {:>12}",
+            r.arch,
+            r.latency.p50_slowdown,
+            r.latency.p99_slowdown,
+            r.batch.p50_slowdown,
+            r.batch.p99_slowdown,
+            r.system.stacked_hit_rate * 100.0,
+            r.pressure_cycles,
+        );
+    }
+
+    if let Some(out) = opts.out {
+        let json = serde_json::to_string_pretty(&reports).expect("serialise scenario reports");
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("scenariorunner: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[saved {}]", out.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,74 @@
+//! Deterministic parallel grid execution over architectures.
+//!
+//! Mirrors the sweep engine's contract: cells are independent pure
+//! functions of their description, workers pull from a shared atomic
+//! queue, and results are assembled in cell order — so an `N`-worker
+//! grid is bit-identical to a serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use chameleon::{Architecture, ScaledParams};
+
+use crate::driver::{run_scenario, ScenarioReport};
+use crate::spec::ScenarioSpec;
+
+/// Runs `spec` under every architecture in `archs` with `workers`
+/// threads, returning reports in `archs` order regardless of completion
+/// order.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, or if a cell panics (the scenario driver's
+/// own invariants; a scenario grid has no partial-failure mode).
+pub fn run_grid(
+    archs: &[Architecture],
+    params: &ScaledParams,
+    spec: &ScenarioSpec,
+    seed: u64,
+    workers: usize,
+) -> Vec<ScenarioReport> {
+    assert!(workers > 0, "at least one worker required");
+    let slots: Mutex<Vec<Option<ScenarioReport>>> =
+        Mutex::new(archs.iter().map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = workers.min(archs.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::SeqCst);
+                if idx >= archs.len() {
+                    break;
+                }
+                let report = run_scenario(archs[idx], params, spec, seed);
+                // INVARIANT: cells never poison the lock — run_scenario
+                // panics propagate out of the scope, aborting the grid.
+                slots.lock().expect("slots lock")[idx] = Some(report);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        // INVARIANT: the scope joined every worker; a panic in any cell
+        // already propagated out of `thread::scope`.
+        .expect("slots lock")
+        .into_iter()
+        // INVARIANT: every index below archs.len() was claimed and filled.
+        .map(|r| r.expect("all cells completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_preserves_arch_order() {
+        let archs = [Architecture::Pom, Architecture::ChameleonOpt];
+        let spec = ScenarioSpec::small();
+        let reports = run_grid(&archs, &ScaledParams::tiny(), &spec, 3, 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].arch, "PoM");
+        assert_eq!(reports[1].arch, "Chameleon-Opt");
+    }
+}

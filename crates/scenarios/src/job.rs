@@ -1,0 +1,158 @@
+//! Job generation: seeded Poisson arrivals and per-job seed derivation.
+//!
+//! Seeds follow the sweep engine's idiom: the canonical-JSON description
+//! of the job is FNV-1a hashed, mixed with the scenario seed, and
+//! finished through SplitMix64 — so every job streams differently while
+//! remaining a pure function of the scenario description.
+
+use chameleon_simkit::hash::{fnv1a, splitmix64};
+use chameleon_simkit::mem::ByteSize;
+use chameleon_simkit::rng::DeterministicRng;
+use chameleon_simkit::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ScenarioSpec, TenantClass, WorkloadKind};
+
+/// One concrete job instance, ready to schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobCell {
+    /// Global job id (arrival order; ties broken by tenant order).
+    pub id: usize,
+    /// Owning tenant name.
+    pub tenant: String,
+    /// Priority class, copied from the tenant.
+    pub class: TenantClass,
+    /// What the job executes.
+    pub workload: WorkloadKind,
+    /// Instruction budget.
+    pub instructions: u64,
+    /// Process footprint (synthetic workloads; `App` jobs derive theirs
+    /// from the application spec at admission).
+    pub footprint: ByteSize,
+    /// Memory operations per 1000 instructions (synthetic workloads).
+    pub mem_per_kilo: u32,
+    /// Arrival time in cycles.
+    pub arrival: Cycle,
+    /// Per-job RNG seed (content-derived, see module docs).
+    pub seed: u64,
+}
+
+/// The exact payload a job seed hashes, serialised to canonical JSON.
+/// Field order is the seed contract (the vendored `serde_json` keeps
+/// declaration order).
+#[derive(Serialize)]
+struct SeedPayload {
+    scenario: String,
+    tenant: String,
+    index: usize,
+    arrival: Cycle,
+}
+
+/// Expands a scenario into its job list, sorted by `(arrival, tenant
+/// order, index)` with global ids assigned in that order.
+///
+/// Arrivals are Poisson per tenant: inter-arrival gaps are exponential
+/// draws from a tenant-private [`DeterministicRng`] whose seed mixes the
+/// scenario seed with the tenant name, so adding a tenant never perturbs
+/// another tenant's arrival process.
+pub fn generate_jobs(spec: &ScenarioSpec, seed: u64) -> Vec<JobCell> {
+    let mut cells: Vec<(usize, usize, JobCell)> = Vec::with_capacity(spec.total_jobs());
+    for (tenant_idx, tenant) in spec.tenants.iter().enumerate() {
+        let mut rng = DeterministicRng::seed(splitmix64(seed ^ fnv1a(tenant.name.as_bytes())));
+        let rate_per_cycle = (tenant.arrivals_per_mcycle / 1_000_000.0).max(1e-12);
+        let mut at: f64 = 0.0;
+        for index in 0..tenant.jobs {
+            // Exponential inter-arrival: -ln(1-U)/rate, at least a cycle.
+            let u = rng.unit();
+            at += (-(1.0 - u).ln() / rate_per_cycle).max(1.0);
+            let arrival = at as Cycle;
+            let payload = SeedPayload {
+                scenario: spec.name.clone(),
+                tenant: tenant.name.clone(),
+                index,
+                arrival,
+            };
+            // INVARIANT: the payload is plain strings and integers; the
+            // vendored serde_json serialises it infallibly.
+            let json = serde_json::to_string(&payload).expect("job payload serialises");
+            cells.push((
+                tenant_idx,
+                index,
+                JobCell {
+                    id: 0, // assigned after the global sort below
+                    tenant: tenant.name.clone(),
+                    class: tenant.class,
+                    workload: tenant.workload.clone(),
+                    instructions: tenant.instructions.max(1),
+                    footprint: tenant.footprint,
+                    mem_per_kilo: tenant.mem_per_kilo,
+                    arrival,
+                    seed: splitmix64(fnv1a(json.as_bytes()) ^ seed),
+                },
+            ));
+        }
+    }
+    cells.sort_by_key(|&(tenant_idx, index, ref cell)| (cell.arrival, tenant_idx, index));
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(id, (_, _, mut cell))| {
+            cell.id = id;
+            cell
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ScenarioSpec::small();
+        assert_eq!(generate_jobs(&spec, 7), generate_jobs(&spec, 7));
+    }
+
+    #[test]
+    fn different_seeds_move_arrivals() {
+        let spec = ScenarioSpec::small();
+        assert_ne!(generate_jobs(&spec, 7), generate_jobs(&spec, 8));
+    }
+
+    #[test]
+    fn jobs_are_sorted_with_sequential_ids() {
+        let jobs = generate_jobs(&ScenarioSpec::thousand(), 42);
+        assert_eq!(jobs.len(), 1000);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            if i > 0 {
+                assert!(jobs[i - 1].arrival <= j.arrival, "arrival order");
+            }
+        }
+    }
+
+    #[test]
+    fn per_job_seeds_are_distinct() {
+        let jobs = generate_jobs(&ScenarioSpec::small(), 3);
+        for (i, a) in jobs.iter().enumerate() {
+            for b in &jobs[i + 1..] {
+                assert_ne!(a.seed, b.seed, "seed collision between jobs");
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_follow_the_tenant_rate_roughly() {
+        let mut spec = ScenarioSpec::small();
+        spec.tenants.truncate(1);
+        spec.tenants[0].jobs = 500;
+        spec.tenants[0].arrivals_per_mcycle = 100.0; // mean gap 10k cycles
+        let jobs = generate_jobs(&spec, 1);
+        let span = jobs.last().unwrap().arrival as f64;
+        let mean_gap = span / jobs.len() as f64;
+        assert!(
+            (4_000.0..25_000.0).contains(&mean_gap),
+            "mean inter-arrival {mean_gap} should be near 10k cycles"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+//! `chameleon-scenarios` — multi-tenant datacenter traffic over the
+//! simulated machine.
+//!
+//! The paper evaluates Chameleon with rate-mode workloads: twelve copies
+//! of one application, all resident before measurement begins. Real
+//! consolidated servers look different — many tenants submit many short
+//! jobs with heterogeneous footprints and priorities, and the memory
+//! system sees arrival/exit churn instead of a steady state. This crate
+//! models that regime:
+//!
+//! * a tenant/job model ([`ScenarioSpec`], [`TenantSpec`]) with seeded
+//!   Poisson arrivals and per-tenant priority classes
+//!   ([`TenantClass::Latency`] vs [`TenantClass::Batch`]),
+//! * heterogeneous footprints: Table II applications plus the synthetic
+//!   Zipf and loop/scan generators from `chameleon-workloads`,
+//! * a time-slicing scheduler ([`run_scenario`]) that multiplexes
+//!   hundreds to thousands of jobs over the simulated cores, binding
+//!   processes per quantum and charging each job its occupied cycles,
+//! * per-class and per-tenant metrics (slowdown p50/p99, guidance
+//!   samples/promotions, stacked-pressure time) published into the
+//!   system's metrics registry alongside the standard families,
+//! * a deterministic grid runner ([`run_grid`]) sweeping architectures —
+//!   including the online-guidance placement policy
+//!   (`Architecture::Guided`) against AutoNUMA and first-touch.
+//!
+//! Everything is bit-deterministic from a single scenario seed: per-job
+//! seeds are derived by hashing the job description (the sweep engine's
+//! FNV-1a + SplitMix64 idiom), scheduling is a pure function of the
+//! simulated clocks, and the grid assembles results in cell order no
+//! matter how many workers ran them.
+
+pub mod driver;
+pub mod grid;
+pub mod job;
+pub mod spec;
+
+pub use driver::{run_scenario, ClassStats, JobOutcome, ScenarioReport};
+pub use grid::run_grid;
+pub use job::{generate_jobs, JobCell};
+pub use spec::{ScenarioSpec, TenantClass, TenantSpec, WorkloadKind};

@@ -1,0 +1,269 @@
+//! Scenario description: tenants, their job shapes, arrival rates and
+//! priority classes.
+
+use chameleon_simkit::mem::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Scheduling priority class of a tenant's jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TenantClass {
+    /// Latency-sensitive: scheduled before any batch job every quantum.
+    Latency,
+    /// Batch/throughput: runs in whatever capacity is left.
+    Batch,
+}
+
+impl TenantClass {
+    /// Stable lowercase label used in metric names and report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantClass::Latency => "latency",
+            TenantClass::Batch => "batch",
+        }
+    }
+}
+
+/// What a tenant's jobs execute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// A Table II application stream (footprint from the spec, scaled by
+    /// the system's footprint scale).
+    App {
+        /// Application name (`AppSpec::NAMES`).
+        name: String,
+    },
+    /// Zipf-distributed point accesses over the tenant footprint.
+    Zipf {
+        /// Skew exponent (0 = uniform, ~0.99 = classic hot-spot).
+        skew: f64,
+    },
+    /// Strided loop/scan over the tenant footprint.
+    Scan {
+        /// Lines skipped per access (1 = dense sweep).
+        stride_lines: u32,
+    },
+}
+
+/// One tenant: a stream of jobs with a common shape and priority.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name (unique within a scenario; used in metric names).
+    pub name: String,
+    /// Priority class.
+    pub class: TenantClass,
+    /// What the jobs execute.
+    pub workload: WorkloadKind,
+    /// Number of jobs this tenant submits.
+    pub jobs: usize,
+    /// Poisson arrival rate: expected jobs per million cycles.
+    pub arrivals_per_mcycle: f64,
+    /// Instruction budget per job.
+    pub instructions: u64,
+    /// Footprint per job (synthetic workloads; `App` jobs take the
+    /// application's own footprint).
+    pub footprint: ByteSize,
+    /// Memory operations per 1000 instructions (synthetic workloads).
+    pub mem_per_kilo: u32,
+}
+
+/// A full scenario: the tenant mix plus scheduler tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports, workload label).
+    pub name: String,
+    /// Instructions a scheduled job may retire per quantum.
+    pub quantum: u64,
+    /// LLC misses per metrics/guidance epoch (`System::set_epoch_accesses`).
+    pub epoch_accesses: u64,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ScenarioSpec {
+    /// Total jobs across all tenants.
+    pub fn total_jobs(&self) -> usize {
+        self.tenants.iter().map(|t| t.jobs).sum()
+    }
+
+    /// A small smoke scenario: two tenants, a few dozen jobs. Sized so a
+    /// debug-mode run finishes in seconds (CI determinism smoke).
+    pub fn small() -> Self {
+        Self {
+            name: "small".to_owned(),
+            quantum: 2_000,
+            epoch_accesses: 2_000,
+            tenants: vec![
+                TenantSpec {
+                    name: "frontend".to_owned(),
+                    class: TenantClass::Latency,
+                    workload: WorkloadKind::Zipf { skew: 0.99 },
+                    jobs: 12,
+                    arrivals_per_mcycle: 40.0,
+                    instructions: 4_000,
+                    footprint: ByteSize::kib(256),
+                    mem_per_kilo: 200,
+                },
+                TenantSpec {
+                    name: "analytics".to_owned(),
+                    class: TenantClass::Batch,
+                    workload: WorkloadKind::Scan { stride_lines: 2 },
+                    jobs: 12,
+                    arrivals_per_mcycle: 20.0,
+                    instructions: 8_000,
+                    footprint: ByteSize::mib(1),
+                    mem_per_kilo: 250,
+                },
+            ],
+        }
+    }
+
+    /// A consolidated medium scenario: four tenants mixing Table II
+    /// applications with synthetic traffic, ~200 jobs.
+    pub fn medium() -> Self {
+        Self {
+            name: "medium".to_owned(),
+            quantum: 4_000,
+            epoch_accesses: 4_000,
+            tenants: vec![
+                TenantSpec {
+                    name: "frontend".to_owned(),
+                    class: TenantClass::Latency,
+                    workload: WorkloadKind::Zipf { skew: 0.99 },
+                    jobs: 60,
+                    arrivals_per_mcycle: 30.0,
+                    instructions: 8_000,
+                    footprint: ByteSize::kib(512),
+                    mem_per_kilo: 200,
+                },
+                TenantSpec {
+                    name: "cache-tier".to_owned(),
+                    class: TenantClass::Latency,
+                    workload: WorkloadKind::Zipf { skew: 0.6 },
+                    jobs: 40,
+                    arrivals_per_mcycle: 15.0,
+                    instructions: 6_000,
+                    footprint: ByteSize::mib(1),
+                    mem_per_kilo: 250,
+                },
+                TenantSpec {
+                    name: "analytics".to_owned(),
+                    class: TenantClass::Batch,
+                    workload: WorkloadKind::Scan { stride_lines: 1 },
+                    jobs: 60,
+                    arrivals_per_mcycle: 12.0,
+                    instructions: 16_000,
+                    footprint: ByteSize::mib(2),
+                    mem_per_kilo: 300,
+                },
+                TenantSpec {
+                    name: "hpc".to_owned(),
+                    class: TenantClass::Batch,
+                    workload: WorkloadKind::App {
+                        name: "mcf".to_owned(),
+                    },
+                    jobs: 40,
+                    arrivals_per_mcycle: 8.0,
+                    instructions: 12_000,
+                    footprint: ByteSize::mib(1),
+                    mem_per_kilo: 200,
+                },
+            ],
+        }
+    }
+
+    /// The thousand-job consolidation scenario the determinism gate runs:
+    /// 1,000 Poisson-arriving jobs across four tenants, budgets sized so
+    /// even a debug-mode double-run stays cheap.
+    pub fn thousand() -> Self {
+        Self {
+            name: "thousand".to_owned(),
+            quantum: 1_000,
+            epoch_accesses: 2_000,
+            tenants: vec![
+                TenantSpec {
+                    name: "frontend".to_owned(),
+                    class: TenantClass::Latency,
+                    workload: WorkloadKind::Zipf { skew: 0.99 },
+                    jobs: 400,
+                    arrivals_per_mcycle: 200.0,
+                    instructions: 1_500,
+                    footprint: ByteSize::kib(64),
+                    mem_per_kilo: 150,
+                },
+                TenantSpec {
+                    name: "cache-tier".to_owned(),
+                    class: TenantClass::Latency,
+                    workload: WorkloadKind::Zipf { skew: 0.5 },
+                    jobs: 200,
+                    arrivals_per_mcycle: 100.0,
+                    instructions: 1_000,
+                    footprint: ByteSize::kib(32),
+                    mem_per_kilo: 150,
+                },
+                TenantSpec {
+                    name: "analytics".to_owned(),
+                    class: TenantClass::Batch,
+                    workload: WorkloadKind::Scan { stride_lines: 2 },
+                    jobs: 300,
+                    arrivals_per_mcycle: 120.0,
+                    instructions: 2_000,
+                    footprint: ByteSize::kib(128),
+                    mem_per_kilo: 200,
+                },
+                TenantSpec {
+                    name: "batch-etl".to_owned(),
+                    class: TenantClass::Batch,
+                    workload: WorkloadKind::Scan { stride_lines: 1 },
+                    jobs: 100,
+                    arrivals_per_mcycle: 50.0,
+                    instructions: 3_000,
+                    footprint: ByteSize::kib(64),
+                    mem_per_kilo: 250,
+                },
+            ],
+        }
+    }
+
+    /// Looks a preset up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every valid preset.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "small" => Ok(Self::small()),
+            "medium" => Ok(Self::medium()),
+            "thousand" => Ok(Self::thousand()),
+            _ => Err(format!(
+                "unknown scenario {name:?}; accepted: small, medium, thousand"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ["small", "medium", "thousand"] {
+            let s = ScenarioSpec::by_name(name).unwrap();
+            assert_eq!(s.name, name);
+            assert!(s.total_jobs() > 0);
+        }
+        let err = ScenarioSpec::by_name("doom").unwrap_err();
+        assert!(err.contains("small") && err.contains("thousand"), "{err}");
+    }
+
+    #[test]
+    fn thousand_preset_has_a_thousand_jobs() {
+        assert_eq!(ScenarioSpec::thousand().total_jobs(), 1000);
+    }
+
+    #[test]
+    fn class_labels_are_stable() {
+        assert_eq!(TenantClass::Latency.label(), "latency");
+        assert_eq!(TenantClass::Batch.label(), "batch");
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod events;
+pub mod hash;
 pub mod mem;
 pub mod metrics;
 pub mod rng;

@@ -146,8 +146,8 @@ fn main() -> ExitCode {
     grid.seed = opts.seed;
 
     for app in &grid.apps {
-        if AppSpec::by_name(app).is_none() {
-            eprintln!("sweeprunner: unknown application {app:?} (see table2_workloads)");
+        if let Err(e) = AppSpec::parse(app) {
+            eprintln!("sweeprunner: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -5,6 +5,7 @@
 use std::fmt;
 
 use chameleon::{Architecture, ScaledParams, SystemReport};
+use chameleon_simkit::hash::{fnv1a, splitmix64};
 use chameleon_simkit::metrics::SCHEMA_VERSION;
 use serde::{Deserialize, Serialize};
 
@@ -53,25 +54,6 @@ struct KeyPayload {
     seed: u64,
     instructions: u64,
     params: ScaledParams,
-}
-
-/// FNV-1a, 64-bit: simple, dependency-free, stable across platforms.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// SplitMix64 finaliser: spreads the key bits so per-cell seeds derived
-/// from similar jobs are statistically unrelated.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 impl Job {

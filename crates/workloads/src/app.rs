@@ -96,33 +96,73 @@ impl AppSpec {
         }
     }
 
+    /// Canonical spelling of every Table II application, in the order
+    /// [`AppSpec::table2`] constructs them. This single list drives both
+    /// lookup ([`AppSpec::parse`] / [`AppSpec::by_name`]) and the
+    /// unknown-name error message, so the two cannot drift apart.
+    pub const NAMES: [&'static str; 14] = [
+        "bwaves",
+        "cactusADM",
+        "cloverleaf",
+        "comd",
+        "GemsFDTD",
+        "hpccg",
+        "lbm",
+        "leslie3d",
+        "mcf",
+        "miniAMR",
+        "miniFE",
+        "miniGhost",
+        "SP",
+        "stream",
+    ];
+
     /// The 14 applications of Table II with the paper's LLC-MPKI and
-    /// memory-footprint values.
+    /// memory-footprint values, in [`AppSpec::NAMES`] order.
     pub fn table2() -> Vec<AppSpec> {
         use Suite::*;
         vec![
-            AppSpec::new("bwaves", Spec2006, 12.91, 21.86, 64, 0.85),
-            AppSpec::new("cactusADM", Spec2006, 2.03, 20.12, 32, 0.90),
-            AppSpec::new("cloverleaf", Mantevo, 30.33, 23.01, 64, 0.80),
-            AppSpec::new("comd", Mantevo, 0.71, 23.18, 32, 0.85),
-            AppSpec::new("GemsFDTD", Spec2006, 20.783, 22.56, 32, 0.85),
-            AppSpec::new("hpccg", Mantevo, 7.81, 22.15, 32, 0.85),
-            AppSpec::new("lbm", Spec2006, 29.55, 19.17, 64, 0.80),
-            AppSpec::new("leslie3d", Spec2006, 12.18, 21.65, 48, 0.85),
-            AppSpec::new("mcf", Spec2006, 59.804, 19.65, 8, 0.90),
-            AppSpec::new("miniAMR", Mantevo, 1.44, 22.40, 32, 0.85),
-            AppSpec::new("miniFE", Mantevo, 0.48, 22.55, 16, 0.85),
-            AppSpec::new("miniGhost", Mantevo, 0.19, 20.68, 16, 0.85),
-            AppSpec::new("SP", Nas, 0.87, 21.72, 32, 0.85),
-            AppSpec::new("stream", Stream, 35.77, 21.66, 512, 0.70),
+            AppSpec::new(Self::NAMES[0], Spec2006, 12.91, 21.86, 64, 0.85),
+            AppSpec::new(Self::NAMES[1], Spec2006, 2.03, 20.12, 32, 0.90),
+            AppSpec::new(Self::NAMES[2], Mantevo, 30.33, 23.01, 64, 0.80),
+            AppSpec::new(Self::NAMES[3], Mantevo, 0.71, 23.18, 32, 0.85),
+            AppSpec::new(Self::NAMES[4], Spec2006, 20.783, 22.56, 32, 0.85),
+            AppSpec::new(Self::NAMES[5], Mantevo, 7.81, 22.15, 32, 0.85),
+            AppSpec::new(Self::NAMES[6], Spec2006, 29.55, 19.17, 64, 0.80),
+            AppSpec::new(Self::NAMES[7], Spec2006, 12.18, 21.65, 48, 0.85),
+            AppSpec::new(Self::NAMES[8], Spec2006, 59.804, 19.65, 8, 0.90),
+            AppSpec::new(Self::NAMES[9], Mantevo, 1.44, 22.40, 32, 0.85),
+            AppSpec::new(Self::NAMES[10], Mantevo, 0.48, 22.55, 16, 0.85),
+            AppSpec::new(Self::NAMES[11], Mantevo, 0.19, 20.68, 16, 0.85),
+            AppSpec::new(Self::NAMES[12], Nas, 0.87, 21.72, 32, 0.85),
+            AppSpec::new(Self::NAMES[13], Stream, 35.77, 21.66, 512, 0.70),
         ]
     }
 
+    /// Parses a Table II application by name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every valid canonical name.
+    pub fn parse(name: &str) -> Result<AppSpec, String> {
+        if let Some(idx) = Self::NAMES
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+        {
+            // INVARIANT: NAMES and table2() are the same list in the same
+            // order (enforced by a test), so the index is always in range.
+            return Ok(Self::table2().swap_remove(idx));
+        }
+        Err(format!(
+            "unknown application {name:?}; accepted: {}",
+            Self::NAMES.join(", ")
+        ))
+    }
+
     /// Looks up a Table II application by name (case-insensitive).
+    /// [`AppSpec::parse`] additionally explains *which* names are valid.
     pub fn by_name(name: &str) -> Option<AppSpec> {
-        Self::table2()
-            .into_iter()
-            .find(|a| a.name.eq_ignore_ascii_case(name))
+        Self::parse(name).ok()
     }
 
     /// Footprint of one copy in the 12-copy rate-mode workload.
@@ -175,6 +215,37 @@ mod tests {
         assert!(AppSpec::by_name("mcf").is_some());
         assert!(AppSpec::by_name("MCF").is_some());
         assert!(AppSpec::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn names_table_matches_table2_in_order() {
+        let apps = AppSpec::table2();
+        assert_eq!(apps.len(), AppSpec::NAMES.len());
+        for (app, name) in apps.iter().zip(AppSpec::NAMES) {
+            assert_eq!(app.name, name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_app() {
+        for a in AppSpec::table2() {
+            assert_eq!(AppSpec::by_name(&a.name).unwrap(), a, "{}", a.name);
+            assert_eq!(
+                AppSpec::parse(&a.name.to_ascii_uppercase()).unwrap(),
+                a,
+                "case-insensitive {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_app_error_lists_valid_names() {
+        let err = AppSpec::parse("doom").unwrap_err();
+        assert!(err.contains("doom"), "echoes the bad input: {err}");
+        for name in AppSpec::NAMES {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
     }
 
     #[test]

@@ -33,8 +33,10 @@ mod app;
 pub mod mix;
 pub mod schedule;
 mod stream;
+pub mod synth;
 pub mod trace;
 
 pub use app::{AppSpec, Suite};
 pub use mix::WorkloadMix;
 pub use stream::AppStream;
+pub use synth::{LoopConfig, LoopStream, ZipfConfig, ZipfStream};

@@ -9,7 +9,7 @@
 //! one 9-byte record per operation (`tag` byte + little-endian `u64`
 //! payload: compute count, load address or store address).
 
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use chameleon_cpu::{InstructionStream, Op};
@@ -17,33 +17,51 @@ use chameleon_cpu::{InstructionStream, Op};
 const MAGIC: &[u8; 7] = b"CHAMTRC";
 const VERSION: u8 = 1;
 
+/// Byte offset of the little-endian op count in the header.
+const COUNT_OFFSET: u64 = 8;
+
+/// Upper bound on the read-side `Vec` preallocation (records). A corrupt
+/// or hostile header can claim any count; we never reserve more than this
+/// up front (~9 MiB of ops) and let `read_exact` fail naturally if the
+/// stream is shorter than the claimed length.
+const MAX_PREALLOC_OPS: u64 = 1 << 20;
+
 const TAG_COMPUTE: u8 = 0;
 const TAG_LOAD: u8 = 1;
 const TAG_STORE: u8 = 2;
 
 /// Records a stream to a writer; returns the number of operations.
 ///
+/// Operations stream straight through to the writer — memory cost is
+/// O(1) in the trace length, so scenario-scale traces (hundreds of
+/// millions of ops) record without buffering. The header's op count is
+/// written as a placeholder first and patched once the stream is
+/// exhausted, which is why the writer must also [`Seek`]; the resulting
+/// bytes are identical to the old buffer-everything implementation.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn record<S: InstructionStream, W: Write>(stream: &mut S, mut w: W) -> io::Result<u64> {
-    let mut ops: Vec<Op> = Vec::new();
-    while let Some(op) = stream.next_op() {
-        ops.push(op);
-    }
+pub fn record<S: InstructionStream, W: Write + Seek>(stream: &mut S, mut w: W) -> io::Result<u64> {
+    let start = w.stream_position()?;
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
-    w.write_all(&(ops.len() as u64).to_le_bytes())?;
-    for op in &ops {
+    w.write_all(&0u64.to_le_bytes())?; // placeholder count, patched below
+    let mut count: u64 = 0;
+    while let Some(op) = stream.next_op() {
         let (tag, payload) = match op {
-            Op::Compute(n) => (TAG_COMPUTE, *n as u64),
-            Op::Load(a) => (TAG_LOAD, *a),
-            Op::Store(a) => (TAG_STORE, *a),
+            Op::Compute(n) => (TAG_COMPUTE, n as u64),
+            Op::Load(a) => (TAG_LOAD, a),
+            Op::Store(a) => (TAG_STORE, a),
         };
         w.write_all(&[tag])?;
         w.write_all(&payload.to_le_bytes())?;
+        count += 1;
     }
-    Ok(ops.len() as u64)
+    w.seek(SeekFrom::Start(start + COUNT_OFFSET))?;
+    w.write_all(&count.to_le_bytes())?;
+    w.seek(SeekFrom::End(0))?;
+    Ok(count)
 }
 
 /// Records a stream to a file.
@@ -81,7 +99,10 @@ impl Trace {
         }
         // INVARIANT: an 8-byte slice of a 16-byte array always converts.
         let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let mut ops = Vec::with_capacity(count as usize);
+        // Pre-size against a sanity-checked length: the header count is
+        // untrusted input, so cap the up-front reservation and let
+        // `read_exact` reject a stream shorter than the claimed count.
+        let mut ops = Vec::with_capacity(count.min(MAX_PREALLOC_OPS) as usize);
         let mut rec = [0u8; 9];
         for _ in 0..count {
             r.read_exact(&mut rec)?;
@@ -161,16 +182,22 @@ impl InstructionStream for TraceStream<'_> {
 mod tests {
     use super::*;
     use crate::{AppSpec, AppStream};
+    use std::io::Cursor;
 
     fn sample_stream() -> AppStream {
         let spec = AppSpec::by_name("mcf").expect("table2 app").scaled(64);
         AppStream::new(&spec, 5_000, 99)
     }
 
+    fn record_to_vec<S: InstructionStream>(stream: &mut S) -> (Vec<u8>, u64) {
+        let mut cur = Cursor::new(Vec::new());
+        let n = record(stream, &mut cur).expect("record");
+        (cur.into_inner(), n)
+    }
+
     #[test]
     fn roundtrip_is_exact() {
-        let mut buf = Vec::new();
-        let n = record(&mut sample_stream(), &mut buf).expect("record");
+        let (buf, n) = record_to_vec(&mut sample_stream());
         assert!(n > 0);
         let trace = Trace::read(&buf[..]).expect("parse");
         assert_eq!(trace.len() as u64, n);
@@ -200,26 +227,56 @@ mod tests {
 
     #[test]
     fn corrupt_magic_rejected() {
-        let mut buf = Vec::new();
-        record(&mut sample_stream(), &mut buf).expect("record");
+        let (mut buf, _) = record_to_vec(&mut sample_stream());
         buf[0] = b'X';
         assert!(Trace::read(&buf[..]).is_err());
     }
 
     #[test]
     fn truncated_trace_rejected() {
-        let mut buf = Vec::new();
-        record(&mut sample_stream(), &mut buf).expect("record");
-        buf.truncate(buf.len() - 3);
+        let (mut buf, _) = record_to_vec(&mut sample_stream());
+        let len = buf.len();
+        buf.truncate(len - 3);
         assert!(Trace::read(&buf[..]).is_err());
     }
 
     #[test]
+    fn truncated_header_rejected() {
+        let (buf, _) = record_to_vec(&mut sample_stream());
+        assert!(Trace::read(&buf[..10]).is_err(), "header cut short");
+        assert!(Trace::read(&buf[..0]).is_err(), "empty input");
+    }
+
+    #[test]
     fn bad_version_rejected() {
-        let mut buf = Vec::new();
-        record(&mut sample_stream(), &mut buf).expect("record");
+        let (mut buf, _) = record_to_vec(&mut sample_stream());
         buf[7] = 99;
         assert!(Trace::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (mut buf, n) = record_to_vec(&mut sample_stream());
+        // Header claims one more record than the stream holds.
+        buf[8..16].copy_from_slice(&(n + 1).to_le_bytes());
+        let err = Trace::read(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_header_count_does_not_overallocate() {
+        // A hostile count must fail on EOF, not abort on allocation.
+        let (mut buf, _) = record_to_vec(&mut sample_stream());
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Trace::read(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn streaming_count_is_patched_in_header() {
+        let (buf, n) = record_to_vec(&mut sample_stream());
+        let header_count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        assert_eq!(header_count, n);
+        assert_eq!(buf.len() as u64, 16 + 9 * n);
     }
 
     #[test]
@@ -230,8 +287,7 @@ mod tests {
                 None
             }
         }
-        let mut buf = Vec::new();
-        record(&mut Empty, &mut buf).expect("record");
+        let (buf, _) = record_to_vec(&mut Empty);
         let t = Trace::read(&buf[..]).expect("parse");
         assert!(t.is_empty());
         assert_eq!(t.replay().next_op(), None);

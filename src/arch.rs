@@ -5,6 +5,7 @@ use chameleon_core::{
     policy::HmaPolicy, AlloyPolicy, ChFlexPolicy, ChameleonPolicy, FlatPolicy, HmaConfig,
     MemCachePolicy, PolymorphicPolicy, PomPolicy, StaticNumaPolicy, UnisonPolicy,
 };
+use chameleon_os::guidance::GuidanceConfig;
 use chameleon_os::numa::AutoNumaConfig;
 use chameleon_os::{MemoryMap, NodePreference, Visibility};
 use chameleon_simkit::mem::ByteSize;
@@ -47,6 +48,10 @@ pub enum Architecture {
         /// Threshold as a percentage (70, 80 or 90 in the paper).
         threshold_pct: u8,
     },
+    /// OS-managed NUMA driven by the online guidance tier (after Olson
+    /// et al.): a sampling profiler classifies pages hot/cold per tenant
+    /// each epoch and feeds two-way placement hints to the kernel.
+    Guided,
 }
 
 impl Architecture {
@@ -81,6 +86,7 @@ impl Architecture {
             Architecture::ChFlex,
             Architecture::NumaFirstTouch,
             Architecture::AutoNuma { threshold_pct: 90 },
+            Architecture::Guided,
         ]
     }
 
@@ -118,6 +124,7 @@ impl Architecture {
             Architecture::AutoNuma { threshold_pct } => {
                 format!("autoNUMA_{threshold_pct}percent")
             }
+            Architecture::Guided => "online_guidance".to_owned(),
         }
     }
 
@@ -125,7 +132,7 @@ impl Architecture {
     /// parameterised AutoNUMA variant is spelled `autonuma-<pct>`. This
     /// single list drives both [`Architecture::parse`] and its
     /// unknown-name error message, so the two cannot drift apart.
-    pub const CANONICAL: [(&'static str, Architecture); 12] = [
+    pub const CANONICAL: [(&'static str, Architecture); 13] = [
         ("flat-small", Architecture::FlatSmall),
         ("flat-large", Architecture::FlatLarge),
         ("alloy", Architecture::Alloy),
@@ -138,6 +145,7 @@ impl Architecture {
         ("memcache", Architecture::MemCache),
         ("ch-flex", Architecture::ChFlex),
         ("numa-first-touch", Architecture::NumaFirstTouch),
+        ("guided", Architecture::Guided),
     ];
 
     /// Parses an architecture from a command-line spelling. Accepts the
@@ -198,10 +206,11 @@ impl Architecture {
             // The first-touch allocator puts data in the fast node until
             // it runs out (Section III-A1).
             Architecture::NumaFirstTouch => NodePreference::FastFirst,
-            // AutoNUMA keeps the fast node as migration headroom: data
-            // lands off-chip and hot pages are pulled in per epoch
-            // (Section III-A2's timeline starts with an empty fast node).
-            Architecture::AutoNuma { .. } => NodePreference::SlowFirst,
+            // AutoNUMA and the guidance tier keep the fast node as
+            // migration headroom: data lands off-chip and hot pages are
+            // pulled in per epoch (Section III-A2's timeline starts with
+            // an empty fast node).
+            Architecture::AutoNuma { .. } | Architecture::Guided => NodePreference::SlowFirst,
             // Hardware-managed systems see churned, spread allocations.
             _ => NodePreference::Balanced,
         }
@@ -236,7 +245,7 @@ impl Architecture {
             Architecture::Unison => Box::new(UnisonPolicy::new(hma.clone())),
             Architecture::MemCache => Box::new(MemCachePolicy::new(hma.clone())),
             Architecture::ChFlex => Box::new(ChFlexPolicy::new(hma.clone())),
-            Architecture::NumaFirstTouch | Architecture::AutoNuma { .. } => {
+            Architecture::NumaFirstTouch | Architecture::AutoNuma { .. } | Architecture::Guided => {
                 Box::new(StaticNumaPolicy::new(hma.clone()))
             }
         }
@@ -249,6 +258,14 @@ impl Architecture {
                 threshold: *threshold_pct as f64 / 100.0,
                 ..AutoNumaConfig::default()
             }),
+            _ => None,
+        }
+    }
+
+    /// Online guidance-tier configuration, when this organisation uses it.
+    pub fn guidance(&self) -> Option<GuidanceConfig> {
+        match self {
+            Architecture::Guided => Some(GuidanceConfig::default()),
             _ => None,
         }
     }
@@ -386,7 +403,7 @@ mod tests {
     #[test]
     fn registry_covers_every_variant_once() {
         let all = Architecture::all();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b, "duplicate registry entry");

@@ -4,9 +4,11 @@
 use chameleon_cache::{CacheStats, Hierarchy, HitLevel};
 use chameleon_core::policy::{HmaPolicy, ModeDistribution};
 use chameleon_cpu::{MemorySystem, MultiCore, Reply, RunReport};
+use chameleon_os::guidance::{GuidanceEngine, GuidanceEpochReport};
 use chameleon_os::numa::{AutoNuma, EpochReport};
 use chameleon_os::page_table::PAGE_SIZE;
 use chameleon_os::{OsConfig, OsError, OsKernel, Pid};
+use chameleon_simkit::mem::ByteSize;
 use chameleon_simkit::metrics::{MetricSource, MetricsExport, Registry, TraceEvent};
 use chameleon_simkit::Cycle;
 use chameleon_workloads::{AppSpec, AppStream, WorkloadMix};
@@ -68,6 +70,7 @@ pub struct System {
     policy: Box<dyn HmaPolicy>,
     pids: Vec<Pid>,
     autonuma: Option<AutoNuma>,
+    guidance: Option<GuidanceEngine>,
     epoch_accesses: u64,
     accesses_since_epoch: u64,
     workload: String,
@@ -118,6 +121,7 @@ impl System {
         }
         let policy = arch.build_policy(&params.hma);
         let autonuma = arch.autonuma().map(AutoNuma::new);
+        let guidance = arch.guidance().map(GuidanceEngine::new);
         Self {
             arch,
             params: params.clone(),
@@ -126,6 +130,7 @@ impl System {
             policy,
             pids: Vec::new(),
             autonuma,
+            guidance,
             epoch_accesses: 20_000,
             accesses_since_epoch: 0,
             workload: String::new(),
@@ -181,6 +186,7 @@ impl System {
         policy: &dyn HmaPolicy,
         hierarchy: &Hierarchy,
         os: &OsKernel,
+        guidance: Option<&GuidanceEngine>,
         cores: usize,
     ) {
         policy.stats().publish("hma.", reg);
@@ -206,6 +212,26 @@ impl System {
         l2.publish("cache.l2.", reg);
         hierarchy.l3().stats().publish("cache.l3.", reg);
         os.stats().publish("os.", reg);
+        // Guidance-tier telemetry is part of the stable schema: published
+        // as zeros when the architecture has no guidance engine so every
+        // run exports the same key set.
+        reg.set_counter(
+            "guidance.samples",
+            guidance.map_or(0, |g| g.samples_total()),
+        );
+        reg.set_counter(
+            "guidance.promotions",
+            guidance.map_or(0, |g| g.promoted_total()),
+        );
+        reg.set_counter(
+            "guidance.demotions",
+            guidance.map_or(0, |g| g.demoted_total()),
+        );
+        reg.set_counter("guidance.enomem", guidance.map_or(0, |g| g.enomem_total()));
+        reg.set_gauge(
+            "guidance.tracked_pages",
+            guidance.map_or(0.0, |g| g.tracked_pages() as f64),
+        );
     }
 
     /// Publishes current values and closes a metrics epoch at `now`.
@@ -215,6 +241,7 @@ impl System {
             self.policy.as_ref(),
             &self.hierarchy,
             &self.os,
+            self.guidance.as_ref(),
             self.params.cores,
         );
         self.metrics.end_epoch(now);
@@ -224,6 +251,17 @@ impl System {
     /// (Figure 2c's timeline).
     pub fn numa_reports(&self) -> &[EpochReport] {
         self.autonuma.as_ref().map(|n| n.reports()).unwrap_or(&[])
+    }
+
+    /// Guidance-tier epoch reports, when the architecture runs the online
+    /// profiler ([`Architecture::Guided`]).
+    pub fn guidance_reports(&self) -> &[GuidanceEpochReport] {
+        self.guidance.as_ref().map(|g| g.reports()).unwrap_or(&[])
+    }
+
+    /// The guidance engine itself (per-tenant profiles), when present.
+    pub fn guidance(&self) -> Option<&GuidanceEngine> {
+        self.guidance.as_ref()
     }
 
     /// Sets the AutoNUMA scan-epoch length in LLC misses (the paper's
@@ -250,9 +288,7 @@ impl System {
         instructions_per_core: u64,
         seed: u64,
     ) -> Result<Vec<AppStream>, String> {
-        let spec = AppSpec::by_name(app)
-            .ok_or_else(|| format!("unknown application {app:?}"))?
-            .scaled(self.params.footprint_scale);
+        let spec = AppSpec::parse(app)?.scaled(self.params.footprint_scale);
         Ok(self.spawn_rate_workload_spec(&spec, instructions_per_core, seed))
     }
 
@@ -314,6 +350,71 @@ impl System {
         streams
     }
 
+    /// Spawns a bare process with the given footprint for scenario-driven
+    /// scheduling (no instruction stream attached). The caller points
+    /// cores at it with [`System::bind_core`] and retires it with
+    /// [`System::exit_process`]. Pages are demand-allocated on first
+    /// touch — scenario jobs are not prefaulted.
+    pub fn spawn_process(&mut self, footprint: ByteSize) -> Pid {
+        self.os.spawn(footprint)
+    }
+
+    /// Exits a process: releases its frames (reported to the hardware as
+    /// `ISA-Free` churn) and retires its translations, which flushes the
+    /// memo via the mapping generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OS errors (an unknown pid indicates a driver bug).
+    pub fn exit_process(&mut self, pid: Pid, now: Cycle) -> Result<(), OsError> {
+        self.os.exit(pid, now, self.policy.as_mut())
+    }
+
+    /// Points `core` at `pid` for subsequent accesses (time-slicing).
+    /// Grows the pid table on first binding and flushes the core's memo
+    /// slots whenever the binding changes: the memo is keyed by VPN only,
+    /// so entries cached for the previous tenant would mistranslate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the configured core count.
+    pub fn bind_core(&mut self, core: usize, pid: Pid) {
+        assert!(core < self.params.cores, "core {core} out of range");
+        if self.pids.len() <= core {
+            self.pids.resize(core + 1, pid);
+            self.flush_core_memo(core);
+        } else if self.pids[core] != pid {
+            self.pids[core] = pid;
+            self.flush_core_memo(core);
+        }
+    }
+
+    fn flush_core_memo(&mut self, core: usize) {
+        let start = core * MEMO_SLOTS;
+        self.memo_tags[start..start + MEMO_SLOTS]
+            .iter_mut()
+            .for_each(|t| *t = u64::MAX);
+    }
+
+    /// Names the workload in reports (scenario drivers compose their own
+    /// labels; the spawn helpers set it from the application name).
+    pub fn set_workload_name(&mut self, name: &str) {
+        self.workload = name.to_owned();
+    }
+
+    /// Mutable access to the metrics registry, for drivers that publish
+    /// their own metric families (per-tenant scenario counters).
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// Finalises a scenario-driven run: closes the last metrics epoch,
+    /// folds the component event traces, and produces the standard
+    /// report — what [`System::run`] does once its cores stop.
+    pub fn finalize(&mut self, run: RunReport) -> SystemReport {
+        self.report(run)
+    }
+
     /// Touches every page of every process once (the paper's workloads
     /// allocate their whole footprint up front), reporting allocations to
     /// the hardware via `ISA-Alloc`.
@@ -370,7 +471,7 @@ impl System {
         // 500M-instruction windows give every application ample training
         // traffic). Compute instructions are batched, so this costs
         // little simulation time.
-        let spec0 = AppSpec::by_name(app).ok_or_else(|| format!("unknown application {app:?}"))?;
+        let spec0 = AppSpec::parse(app)?;
         let boost = (24.0 / spec0.llc_mpki).clamp(1.0, 8.0);
         let measure = (self.params.instructions_per_core as f64 * boost) as u64;
         let warmup = (measure / 2).max(1);
@@ -390,9 +491,7 @@ impl System {
         instructions_per_core: u64,
         seed: u64,
     ) -> Result<Vec<AppStream>, String> {
-        let spec = AppSpec::by_name(app)
-            .ok_or_else(|| format!("unknown application {app:?}"))?
-            .scaled(self.params.footprint_scale);
+        let spec = AppSpec::parse(app)?.scaled(self.params.footprint_scale);
         Ok((0..self.params.cores)
             .map(|core| {
                 AppStream::new(
@@ -501,6 +600,10 @@ impl MemorySystem for System {
             if let Some(numa) = self.autonuma.as_mut() {
                 numa.record_access(paddr, self.os.memory_map().node_of(paddr));
             }
+            if let Some(guidance) = self.guidance.as_mut() {
+                let node = self.os.memory_map().node_of(paddr);
+                guidance.record_access(self.pids[core], paddr, node);
+            }
             self.accesses_since_epoch += 1;
             if self.accesses_since_epoch >= self.epoch_accesses {
                 self.accesses_since_epoch = 0;
@@ -508,6 +611,10 @@ impl MemorySystem for System {
                 if let Some(mut numa) = self.autonuma.take() {
                     numa.end_epoch(&mut self.os, self.policy.as_mut(), issue);
                     self.autonuma = Some(numa);
+                }
+                if let Some(mut guidance) = self.guidance.take() {
+                    let _ = guidance.end_epoch(&mut self.os, self.policy.as_mut(), issue);
+                    self.guidance = Some(guidance);
                 }
             }
         }
@@ -596,6 +703,47 @@ mod tests {
             !s.numa_reports().is_empty(),
             "long runs must close at least one epoch"
         );
+    }
+
+    #[test]
+    fn guided_produces_epoch_reports_and_metrics() {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::Guided, &params);
+        s.set_epoch_accesses(500);
+        let streams = s.spawn_rate_workload("stream", 100_000, 3).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        let r = s.run(streams);
+        assert!(
+            !s.guidance_reports().is_empty(),
+            "long runs must close at least one guidance epoch"
+        );
+        let samples = r.metrics.counters.get("guidance.samples");
+        assert!(samples.copied().unwrap_or(0) > 0, "profiler must sample");
+    }
+
+    #[test]
+    fn bind_core_flushes_stale_translations() {
+        // Two processes time-share core 0; every access must translate
+        // through the pid bound at the time, memo on or off.
+        let run = |memo: bool| {
+            let params = ScaledParams::tiny();
+            let mut s = System::new(Architecture::ChameleonOpt, &params);
+            s.set_memo_enabled(memo);
+            let a = s.spawn_process(chameleon_simkit::mem::ByteSize::kib(64));
+            let b = s.spawn_process(chameleon_simkit::mem::ByteSize::kib(64));
+            let mut replies = Vec::new();
+            for slice in 0..4 {
+                let pid = if slice % 2 == 0 { a } else { b };
+                s.bind_core(0, pid);
+                for i in 0..32u64 {
+                    let r = s.access(0, i * 4096 % (64 * 1024), false, slice * 10_000 + i);
+                    replies.push((r.latency, r.fault_stall));
+                }
+            }
+            replies
+        };
+        assert_eq!(run(true), run(false), "memo must be invisible");
     }
 
     #[test]

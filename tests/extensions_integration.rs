@@ -92,9 +92,9 @@ fn trace_replay_reproduces_generated_run_exactly() {
                     params.instructions_per_core,
                     9u64.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64),
                 );
-                let mut buf = Vec::new();
+                let mut buf = std::io::Cursor::new(Vec::new());
                 record(&mut stream, &mut buf).unwrap();
-                Trace::read(&buf[..]).unwrap()
+                Trace::read(&buf.into_inner()[..]).unwrap()
             })
             .collect();
         let mut s = System::new(Architecture::Pom, &params);
