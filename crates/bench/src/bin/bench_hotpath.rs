@@ -1,9 +1,11 @@
 //! Hot-path throughput rig: simulated memory references per wall-clock
-//! second, per architecture, on a fixed workload.
+//! second, per architecture and step mode, on a fixed workload.
 //!
 //! Every simulated reference walks `System::access` → `OsKernel::touch` →
 //! `Hierarchy::access` → `HmaPolicy::access`; this runner measures how
 //! fast that walk goes on the host, independent of what it simulates.
+//! Each architecture is measured twice — once per [`StepMode`] — so the
+//! batched spine's speedup over the scalar spine is a recorded number.
 //! The output seeds the perf trajectory: `BENCH_hotpath.json` records
 //! accesses/sec and ns/access for a `fig15`-style cell of each
 //! architecture, so any hot-path regression shows up as a number, not a
@@ -13,26 +15,41 @@
 //! runs on the same machine are comparable across commits. Wall-clock
 //! timing covers only the measured run, not spawn/prefault/warm-up.
 //!
-//! Usage: `bench_hotpath [--instr N] [--reps N] [--out PATH]`
-//!   --instr N   instructions per core for the measured run
-//!               (default 2,000,000; CI smoke passes a smaller N)
-//!   --reps N    measured repetitions per cell; the fastest is reported
-//!               (default 3 — best-of filters scheduler noise, which is
-//!               one-sided: interference only ever slows a run down)
-//!   --out PATH  output JSON path (default BENCH_hotpath.json)
+//! Usage: `bench_hotpath [--instr N] [--reps N] [--out PATH]
+//!                       [--check PATH] [--verify]`
+//!   --instr N    instructions per core for the measured run
+//!                (default 2,000,000; CI smoke passes a smaller N)
+//!   --reps N     measured repetitions per cell; the fastest is reported
+//!                (default 3 — best-of filters scheduler noise, which is
+//!                one-sided: interference only ever slows a run down)
+//!   --out PATH   output JSON path (default BENCH_hotpath.json)
+//!   --check PATH instead of writing a report, measure the Chameleon-Opt
+//!                batched cell and fail (exit 1) if its ns/access
+//!                regressed more than 25% against the committed report
+//!                at PATH — the CI drift gate
+//!   --verify     instead of writing a report, run the Chameleon-Opt
+//!                cell in both step modes and fail (exit 1) unless the
+//!                two `SystemReport`s serialise to identical JSON — the
+//!                CI bit-identity smoke
 
 use std::time::Instant;
 
-use chameleon::{Architecture, ScaledParams, System};
-use serde::Serialize;
+use chameleon::{Architecture, ScaledParams, StepMode, System};
+use serde::{Deserialize, Serialize};
 
-/// One architecture's hot-path throughput measurement.
-#[derive(Debug, Serialize)]
+/// Fraction by which a fresh `--check` measurement may exceed the
+/// committed ns/access before the gate fails.
+const DRIFT_TOLERANCE: f64 = 0.25;
+
+/// One (architecture, step mode) hot-path throughput measurement.
+#[derive(Debug, Serialize, Deserialize)]
 struct HotpathCell {
     /// Architecture label (paper legend spelling).
     arch: String,
     /// Workload name.
     app: String,
+    /// Step mode the cell ran under (`"scalar"` or `"batched"`).
+    mode: String,
     /// Simulated memory references the measured run issued.
     accesses: u64,
     /// Instructions retired across cores.
@@ -43,24 +60,45 @@ struct HotpathCell {
     accesses_per_sec: f64,
     /// Host cost: wall-clock nanoseconds per simulated reference.
     ns_per_access: f64,
+    /// Batched cells only: this cell's throughput over the same
+    /// architecture's scalar cell (`scalar ns/access ÷ batched
+    /// ns/access`); `null` on scalar cells.
+    speedup: Option<f64>,
 }
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct HotpathReport {
-    /// Report shape version.
+    /// Report shape version. v2 added per-mode cells and `speedup`.
     schema_version: u32,
     /// Instructions per core each cell ran.
     instructions_per_core: u64,
     /// Fixed workload every cell runs.
     app: String,
-    /// Per-architecture measurements.
+    /// Per-(architecture, mode) measurements.
     cells: Vec<HotpathCell>,
 }
 
-fn measure_once(arch: Architecture, instructions_per_core: u64) -> HotpathCell {
+/// The committed report's shape version; `--check` and the bench-crate
+/// schema test both pin it.
+const HOTPATH_SCHEMA_VERSION: u32 = 2;
+
+fn mode_label(mode: StepMode) -> &'static str {
+    match mode {
+        StepMode::Scalar => "scalar",
+        StepMode::Batched => "batched",
+    }
+}
+
+fn build_cell(arch: Architecture, instructions_per_core: u64, mode: StepMode) -> System {
     let mut params = ScaledParams::tiny();
     params.instructions_per_core = instructions_per_core;
     let mut system = System::new(arch, &params);
+    system.set_step_mode(mode);
+    system
+}
+
+fn measure_once(arch: Architecture, instructions_per_core: u64, mode: StepMode) -> HotpathCell {
+    let mut system = build_cell(arch, instructions_per_core, mode);
     let streams = system
         .spawn_rate_workload("mcf", instructions_per_core, 1)
         .expect("mcf is a Table II app");
@@ -76,28 +114,112 @@ fn measure_once(arch: Architecture, instructions_per_core: u64) -> HotpathCell {
     HotpathCell {
         arch: report.arch,
         app: report.workload,
+        mode: mode_label(mode).to_owned(),
         accesses,
         instructions,
         elapsed_ns,
         accesses_per_sec: accesses as f64 / secs,
         ns_per_access: elapsed_ns as f64 / accesses.max(1) as f64,
+        speedup: None,
     }
 }
 
 /// Best of `reps` runs: each repetition simulates the identical cell, so
 /// the fastest wall-clock time is the cleanest estimate of the hot
 /// path's cost.
-fn measure(arch: Architecture, instructions_per_core: u64, reps: u32) -> HotpathCell {
+fn measure(
+    arch: Architecture,
+    instructions_per_core: u64,
+    reps: u32,
+    mode: StepMode,
+) -> HotpathCell {
     (0..reps.max(1))
-        .map(|_| measure_once(arch, instructions_per_core))
+        .map(|_| measure_once(arch, instructions_per_core, mode))
         .min_by(|a, b| a.elapsed_ns.cmp(&b.elapsed_ns))
         .expect("at least one repetition")
+}
+
+/// The `--check` drift gate: measure the Chameleon-Opt batched cell
+/// fresh and compare against the committed report. Returns an error
+/// message when the committed numbers no longer describe this tree.
+fn check_drift(path: &str, instructions_per_core: u64, reps: u32) -> Result<(), String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let committed: HotpathReport =
+        serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))?;
+    if committed.schema_version != HOTPATH_SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: schema_version {} (expected {HOTPATH_SCHEMA_VERSION}); \
+             regenerate with `cargo run --release -p chameleon-bench --bin bench_hotpath`",
+            committed.schema_version
+        ));
+    }
+    let reference = committed
+        .cells
+        .iter()
+        .find(|c| c.arch == "Chameleon-Opt" && c.mode == "batched")
+        .ok_or_else(|| format!("{path}: no Chameleon-Opt batched cell"))?;
+    let fresh = measure(
+        Architecture::ChameleonOpt,
+        instructions_per_core,
+        reps,
+        StepMode::Batched,
+    );
+    let limit = reference.ns_per_access * (1.0 + DRIFT_TOLERANCE);
+    println!(
+        "[check] Chameleon-Opt batched: fresh {:.1} ns/access vs committed {:.1} \
+         (limit {:.1})",
+        fresh.ns_per_access, reference.ns_per_access, limit
+    );
+    if fresh.ns_per_access > limit {
+        return Err(format!(
+            "hot-path regression: fresh Chameleon-Opt batched ns/access {:.1} exceeds \
+             committed {:.1} by more than {:.0}%",
+            fresh.ns_per_access,
+            reference.ns_per_access,
+            DRIFT_TOLERANCE * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// The `--verify` bit-identity smoke: the same cell must serialise to
+/// the same `SystemReport` JSON under both step modes.
+fn verify_bit_identity(instructions_per_core: u64) -> Result<(), String> {
+    let run = |mode: StepMode| {
+        let mut system = build_cell(Architecture::ChameleonOpt, instructions_per_core, mode);
+        let streams = system
+            .spawn_rate_workload("mcf", instructions_per_core, 1)
+            .expect("mcf is a Table II app");
+        system.prefault_all().expect("prefault");
+        system.reset_measurement();
+        let report = system.run(streams);
+        serde_json::to_string(&report).expect("reports serialise")
+    };
+    let scalar = run(StepMode::Scalar);
+    let batched = run(StepMode::Batched);
+    if scalar == batched {
+        println!(
+            "[verify] scalar and batched reports identical ({} bytes, {} instr/core)",
+            scalar.len(),
+            instructions_per_core
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "scalar and batched SystemReports diverged ({} vs {} bytes) — the batched \
+             spine broke bit-identity",
+            scalar.len(),
+            batched.len()
+        ))
+    }
 }
 
 fn main() {
     let mut instructions_per_core: u64 = 2_000_000;
     let mut reps: u32 = 3;
     let mut out = "BENCH_hotpath.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut verify = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -110,8 +232,25 @@ fn main() {
                 reps = v.parse().expect("--reps takes an integer");
             }
             "--out" => out = args.next().expect("--out takes a path"),
+            "--check" => check = Some(args.next().expect("--check takes a path")),
+            "--verify" => verify = true,
             other => panic!("unknown argument {other:?}"),
         }
+    }
+
+    if verify {
+        if let Err(msg) = verify_bit_identity(instructions_per_core) {
+            eprintln!("[verify] FAILED: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(path) = check {
+        if let Err(msg) = check_drift(&path, instructions_per_core, reps) {
+            eprintln!("[check] FAILED: {msg}");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let archs = [
@@ -122,22 +261,29 @@ fn main() {
         Architecture::FlatSmall,
     ];
     println!(
-        "[hotpath] {} instr/core, fixed workload mcf, {} architectures, best of {}",
+        "[hotpath] {} instr/core, fixed workload mcf, {} architectures x 2 modes, best of {}",
         instructions_per_core,
         archs.len(),
         reps
     );
     let mut cells = Vec::new();
     for arch in archs {
-        let cell = measure(arch, instructions_per_core, reps);
+        let scalar = measure(arch, instructions_per_core, reps, StepMode::Scalar);
+        let mut batched = measure(arch, instructions_per_core, reps, StepMode::Batched);
+        batched.speedup = Some(scalar.ns_per_access / batched.ns_per_access.max(1e-12));
         println!(
-            "  {:<14} {:>12.0} accesses/s  {:>8.1} ns/access  ({} accesses)",
-            cell.arch, cell.accesses_per_sec, cell.ns_per_access, cell.accesses
+            "  {:<14} scalar {:>7.1} ns/access   batched {:>7.1} ns/access   {:>5.2}x  ({} accesses)",
+            scalar.arch,
+            scalar.ns_per_access,
+            batched.ns_per_access,
+            batched.speedup.unwrap_or_default(),
+            batched.accesses
         );
-        cells.push(cell);
+        cells.push(scalar);
+        cells.push(batched);
     }
     let report = HotpathReport {
-        schema_version: 1,
+        schema_version: HOTPATH_SCHEMA_VERSION,
         instructions_per_core,
         app: "mcf".to_owned(),
         cells,

@@ -1,0 +1,77 @@
+//! Golden-schema test for the committed `BENCH_hotpath.json`: the perf
+//! trajectory is only useful if every commit's numbers are comparable,
+//! so the committed report must keep the shape `bench_hotpath` writes —
+//! schema version, per-mode cells, and a batched Chameleon-Opt cell with
+//! a recorded speedup (the drift gate's reference point).
+
+use serde::Value;
+
+fn committed_report() -> Value {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    let data = std::fs::read_to_string(&path).expect("committed BENCH_hotpath.json present");
+    serde_json::parse(&data).expect("committed report parses")
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field {name:?}")),
+        other => panic!("expected a JSON object, got {other:?}"),
+    }
+}
+
+#[test]
+fn committed_hotpath_report_matches_v2_schema() {
+    let report = committed_report();
+    assert_eq!(
+        field(&report, "schema_version").as_u64(),
+        Some(2),
+        "BENCH_hotpath.json must be regenerated at schema v2"
+    );
+    let Value::Array(cells) = field(&report, "cells") else {
+        panic!("cells must be an array");
+    };
+    assert!(!cells.is_empty(), "committed report has no cells");
+    for cell in cells {
+        let mode = field(cell, "mode").as_str().expect("mode is a string");
+        assert!(
+            mode == "scalar" || mode == "batched",
+            "unknown step mode {mode:?}"
+        );
+        let ns = field(cell, "ns_per_access")
+            .as_f64()
+            .expect("ns_per_access");
+        assert!(ns > 0.0, "ns_per_access must be positive");
+        let speedup = field(cell, "speedup");
+        match mode {
+            "batched" => assert!(
+                speedup.as_f64().unwrap_or(0.0) > 0.0,
+                "batched cells record their speedup"
+            ),
+            _ => assert!(
+                matches!(speedup, Value::Null),
+                "scalar cells carry no speedup"
+            ),
+        }
+    }
+}
+
+#[test]
+fn committed_report_covers_chameleon_opt_in_both_modes() {
+    let report = committed_report();
+    let Value::Array(cells) = field(&report, "cells") else {
+        panic!("cells must be an array");
+    };
+    for want in ["scalar", "batched"] {
+        assert!(
+            cells
+                .iter()
+                .any(|c| field(c, "arch").as_str() == Some("Chameleon-Opt")
+                    && field(c, "mode").as_str() == Some(want)),
+            "missing Chameleon-Opt {want} cell — the drift gate needs it"
+        );
+    }
+}

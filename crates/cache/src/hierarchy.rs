@@ -127,25 +127,50 @@ impl Hierarchy {
     /// Panics if `core` is out of range.
     // lint: hot-path
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
+        let mut memory_writebacks = WritebackBuf::new();
+        let mut prefetches = PrefetchBuf::new();
+        let (level, sram_latency) = self.access_into(
+            core,
+            addr,
+            is_write,
+            &mut memory_writebacks,
+            &mut prefetches,
+        );
+        HierarchyOutcome {
+            level,
+            sram_latency,
+            memory_writebacks,
+            prefetches,
+        }
+    }
+
+    /// [`Hierarchy::access`] writing its result buffers into
+    /// caller-provided storage (cleared first): the per-reference spine
+    /// reuses two persistent buffers instead of copying a
+    /// [`HierarchyOutcome`] (which is over a hundred bytes wide) out of
+    /// the walk on every access.
+    // lint: hot-path
+    #[inline]
+    pub fn access_into(
+        &mut self,
+        core: usize,
+        addr: u64,
+        is_write: bool,
+        memory_writebacks: &mut WritebackBuf,
+        prefetches: &mut PrefetchBuf,
+    ) -> (HitLevel, u32) {
         let kind = if is_write {
             AccessKind::Write
         } else {
             AccessKind::Read
         };
+        memory_writebacks.clear();
+        prefetches.clear();
         let mut latency = self.l1_latency;
-        let mut memory_writebacks = WritebackBuf::new();
-        let mut prefetches = PrefetchBuf::new();
 
         // L1.
         match self.l1[core].access(addr, kind) {
-            LookupResult::Hit => {
-                return HierarchyOutcome {
-                    level: HitLevel::L1,
-                    sram_latency: latency,
-                    memory_writebacks,
-                    prefetches,
-                }
-            }
+            LookupResult::Hit => return (HitLevel::L1, latency),
             LookupResult::Miss { writeback } => {
                 if let Some(wb) = writeback {
                     // Dirty L1 victim lands in L2.
@@ -167,14 +192,7 @@ impl Hierarchy {
         // L2.
         latency += self.l2_latency;
         match self.l2[core].access(addr, kind) {
-            LookupResult::Hit => {
-                return HierarchyOutcome {
-                    level: HitLevel::L2,
-                    sram_latency: latency,
-                    memory_writebacks,
-                    prefetches,
-                }
-            }
+            LookupResult::Hit => return (HitLevel::L2, latency),
             LookupResult::Miss { writeback } => {
                 if let Some(wb) = writeback {
                     if let LookupResult::Miss {
@@ -190,25 +208,15 @@ impl Hierarchy {
         // L3 (shared).
         latency += self.l3_latency;
         match self.l3.access(addr, kind) {
-            LookupResult::Hit => HierarchyOutcome {
-                level: HitLevel::L3,
-                sram_latency: latency,
-                memory_writebacks,
-                prefetches,
-            },
+            LookupResult::Hit => (HitLevel::L3, latency),
             LookupResult::Miss { writeback } => {
                 if let Some(wb) = writeback {
                     memory_writebacks.push(wb);
                 }
                 if let Some(pf) = self.prefetchers.as_mut() {
-                    prefetches = pf[core].observe(addr);
+                    *prefetches = pf[core].observe(addr);
                 }
-                HierarchyOutcome {
-                    level: HitLevel::Memory,
-                    sram_latency: latency,
-                    memory_writebacks,
-                    prefetches,
-                }
+                (HitLevel::Memory, latency)
             }
         }
     }

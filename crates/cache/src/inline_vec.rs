@@ -38,6 +38,11 @@ impl<const N: usize> InlineVec<N> {
     pub fn as_slice(&self) -> &[u64] {
         &self.items[..self.len as usize]
     }
+
+    /// Empties the buffer (callers reusing one buffer across accesses).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
 }
 
 impl<const N: usize> Default for InlineVec<N> {

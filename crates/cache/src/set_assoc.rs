@@ -75,10 +75,6 @@ impl Line {
         self.key = (self.key & !Self::RRPV_MASK) | u64::from(v.min(3)) << Self::RRPV_SHIFT;
     }
 
-    fn mark_dirty(&mut self) {
-        self.key |= Self::DIRTY;
-    }
-
     fn clear_valid(&mut self) {
         self.key &= !Self::VALID;
     }
@@ -204,26 +200,74 @@ impl SetAssocCache {
 
     /// Looks up `addr`; on a miss the line is allocated (write-allocate)
     /// and the LRU victim evicted.
+    ///
+    /// The hit path is branchless over the set: every way's 16-byte
+    /// packed key is compared as one u64 lane (rrpv/dirty bits forced so
+    /// equality means valid-and-tag-matches), the per-way results fold
+    /// into a bitmask, and `trailing_zeros` picks the matching way — one
+    /// data-dependent branch per lookup instead of one per way. The
+    /// common associativities (4/8/16, Table I) get fixed-width
+    /// specialisations the compiler fully unrolls.
+    // lint: hot-path
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> LookupResult {
         self.clock += 1;
         let (set_idx, tag) = self.locate(addr);
-        let clock = self.clock;
-        let set = &mut self.lines[set_idx * self.ways..][..self.ways];
+        let base = set_idx * self.ways;
+        let want = tag << Line::TAG_SHIFT | Line::RRPV_MASK | Line::DIRTY | Line::VALID;
+        let hit = match self.ways {
+            4 => Self::find_hit::<4>(&self.lines[base..], want),
+            8 => Self::find_hit::<8>(&self.lines[base..], want),
+            16 => Self::find_hit::<16>(&self.lines[base..], want),
+            _ => self.lines[base..][..self.ways]
+                .iter()
+                .position(|l| l.matches(tag)),
+        };
+        if let Some(i) = hit {
+            let line = &mut self.lines[base + i];
+            if self.policy != ReplacementPolicy::Fifo {
+                line.used = self.clock;
+            }
+            // One read-modify-write resets the RRPV and merges the dirty
+            // bit (equivalent to `set_rrpv(0)` + conditional `mark_dirty`).
+            line.key = (line.key & !Line::RRPV_MASK) | u64::from(kind == AccessKind::Write) << 1;
+            self.stats.record(kind, true);
+            return LookupResult::Hit;
+        }
+        self.miss_fill(base, tag, kind)
+    }
 
+    /// Branchless hit scan over one `W`-way set starting at `lines[0]`.
+    // lint: hot-path
+    #[inline(always)]
+    fn find_hit<const W: usize>(lines: &[Line], want: u64) -> Option<usize> {
+        // INVARIANT: `lines` starts at a set boundary of a cache whose
+        // associativity is W, so at least W lines follow.
+        let set: &[Line; W] = lines[..W].try_into().expect("set holds W ways");
+        let mut mask = 0u32;
+        for (i, l) in set.iter().enumerate() {
+            mask |= u32::from(l.key | Line::RRPV_MASK | Line::DIRTY == want) << i;
+        }
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// The miss path: victim selection, eviction accounting, fill. One
+    /// fused scan finds the first invalid way and the oldest-stamped way
+    /// (the LRU/FIFO victim: strict `<` keeps the first minimum, like
+    /// `min_by_key`), so a miss costs a single pass.
+    // lint: hot-path
+    fn miss_fill(&mut self, base: usize, tag: u64, kind: AccessKind) -> LookupResult {
+        let clock = self.clock;
         let policy = self.policy;
-        // One fused scan finds the matching way, the first invalid way,
-        // and the oldest-stamped way (the LRU/FIFO victim: strict `<`
-        // keeps the first minimum, like `min_by_key`), so a miss costs a
-        // single pass instead of three.
-        let mut hit = None;
+        let set = &mut self.lines[base..][..self.ways];
         let mut first_invalid = usize::MAX;
         let mut oldest_idx = 0;
         let mut oldest_used = u64::MAX;
         for (i, l) in set.iter().enumerate() {
-            if l.matches(tag) {
-                hit = Some(i);
-                break;
-            }
             if !l.valid() && first_invalid == usize::MAX {
                 first_invalid = i;
             }
@@ -232,20 +276,7 @@ impl SetAssocCache {
                 oldest_idx = i;
             }
         }
-        if let Some(i) = hit {
-            let line = &mut set[i];
-            if policy != ReplacementPolicy::Fifo {
-                line.used = clock;
-            }
-            line.set_rrpv(0);
-            if kind == AccessKind::Write {
-                line.mark_dirty();
-            }
-            self.stats.record(kind, true);
-            return LookupResult::Hit;
-        }
-
-        // Miss: pick an invalid way, else the policy's victim.
+        // Pick an invalid way, else the policy's victim.
         let victim_idx = if first_invalid != usize::MAX {
             first_invalid
         } else {

@@ -1,0 +1,380 @@
+//! Struct-of-arrays reference batches: the decode side of the batched
+//! access engine.
+//!
+//! A [`RefBatch`] holds a *prefix of one core's remaining instruction
+//! stream*, decoded into parallel arrays (op kinds in one array, payloads
+//! in another) so the driver's replay loop walks flat memory instead of
+//! re-entering the stream generator per op. Streams are pure generators —
+//! the ops they emit never depend on memory replies — so pre-decoding any
+//! number of ops ahead of execution is invisible to the simulation:
+//! [`MultiCore::run_batched`](crate::MultiCore::run_batched) replays the
+//! buffered ops through the *exact* scalar interleaving and timing, which
+//! makes batch mode bit-identical to scalar mode by construction.
+//!
+//! Ops are stored 1:1, never folded: merging two adjacent `Compute` ops
+//! into one changes where the reorder-window check runs and therefore the
+//! retire/stall schedule, so it is *not* a behaviour-preserving rewrite.
+
+use crate::{InstructionStream, MemorySystem, Op, Reply};
+
+/// Default batch capacity in ops. Large enough that refill overhead (and
+/// the per-batch translation plan) amortises over thousands of ops, small
+/// enough that per-core buffers stay cache-resident on the host.
+pub const BATCH_OPS: usize = 2048;
+
+/// Kind of one batched op. The discriminants are the array element
+/// values: a `RefBatch` stores one byte per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Payload is the instruction count.
+    Compute = 0,
+    /// Payload is the virtual address.
+    Load = 1,
+    /// Payload is the virtual address.
+    Store = 2,
+}
+
+/// A struct-of-arrays buffer of decoded ops for one core.
+///
+/// Parallel arrays (`kinds[i]`, `payloads[i]`) describe op `i`; memory
+/// ops are additionally numbered in issue order (`mem_refs`), which is
+/// the index the memory system's per-batch translation plan is keyed by.
+#[derive(Debug, Default)]
+pub struct RefBatch {
+    kinds: Vec<OpKind>,
+    payloads: Vec<u64>,
+    /// Consumption cursor into the arrays.
+    cursor: usize,
+    /// Memory ops consumed so far (the next mem op's plan index).
+    mem_cursor: u32,
+    /// Total memory ops buffered.
+    mem_refs: u32,
+    /// The stream reported exhaustion while filling this batch: once the
+    /// buffered ops are consumed the core is done, exactly as if
+    /// `next_op` had returned `None` to the scalar driver.
+    ended: bool,
+}
+
+impl RefBatch {
+    /// An empty batch with room for `cap` ops.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            kinds: Vec::with_capacity(cap),
+            payloads: Vec::with_capacity(cap),
+            cursor: 0,
+            mem_cursor: 0,
+            mem_refs: 0,
+            ended: false,
+        }
+    }
+
+    /// Discards contents and cursors for refilling. The `ended` flag is
+    /// preserved: a stream that has reported exhaustion stays exhausted.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.payloads.clear();
+        self.cursor = 0;
+        self.mem_cursor = 0;
+        self.mem_refs = 0;
+    }
+
+    /// Appends a compute op of `n` instructions.
+    // lint: hot-path
+    #[inline]
+    pub fn push_compute(&mut self, n: u32) {
+        self.kinds.push(OpKind::Compute);
+        self.payloads.push(u64::from(n));
+    }
+
+    /// Appends a memory op.
+    // lint: hot-path
+    #[inline]
+    pub fn push_mem(&mut self, addr: u64, write: bool) {
+        self.kinds
+            .push(if write { OpKind::Store } else { OpKind::Load });
+        self.payloads.push(addr);
+        self.mem_refs += 1;
+    }
+
+    /// Appends any op.
+    #[inline]
+    pub fn push_op(&mut self, op: Op) {
+        match op {
+            Op::Compute(n) => self.push_compute(n),
+            Op::Load(a) => self.push_mem(a, false),
+            Op::Store(a) => self.push_mem(a, true),
+        }
+    }
+
+    /// Marks the stream as exhausted at the end of this batch.
+    pub fn mark_ended(&mut self) {
+        self.ended = true;
+    }
+
+    /// Whether the stream reported exhaustion while filling.
+    pub fn ended(&self) -> bool {
+        self.ended
+    }
+
+    /// Ops buffered (consumed and pending).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether no unconsumed ops remain.
+    pub fn is_empty(&self) -> bool {
+        self.cursor >= self.kinds.len()
+    }
+
+    /// Total memory ops buffered (the translation plan's length).
+    pub fn mem_refs(&self) -> u32 {
+        self.mem_refs
+    }
+
+    /// Iterates the buffered memory ops in issue order as
+    /// `(plan_index, addr, is_write)` — the translation-plan builder's
+    /// view of the batch.
+    pub fn mem_ops(&self) -> impl Iterator<Item = (u32, u64, bool)> + '_ {
+        self.kinds
+            .iter()
+            .zip(&self.payloads)
+            .filter(|(k, _)| **k != OpKind::Compute)
+            .enumerate()
+            .map(|(i, (k, &p))| (i as u32, p, *k == OpKind::Store))
+    }
+
+    /// Consumes the next op, returning `(kind, payload, mem_index)`;
+    /// `mem_index` is the op's translation-plan slot (meaningful for
+    /// memory ops only). `None` when the buffer is drained.
+    // lint: hot-path
+    #[inline]
+    pub fn take_next(&mut self) -> Option<(OpKind, u64, u32)> {
+        let i = self.cursor;
+        if i >= self.kinds.len() {
+            return None;
+        }
+        self.cursor = i + 1;
+        let kind = self.kinds[i];
+        let payload = self.payloads[i];
+        let mem_idx = self.mem_cursor;
+        if kind != OpKind::Compute {
+            self.mem_cursor += 1;
+        }
+        Some((kind, payload, mem_idx))
+    }
+}
+
+/// A memory system that can amortise per-reference work over a batch.
+///
+/// Both methods have defaults that reduce batch mode to per-reference
+/// scalar behaviour, so any [`MemorySystem`] opts in with an empty impl
+/// and upgrades incrementally. Implementations must keep
+/// [`BatchMemory::access_batched`] *observably identical* to
+/// [`MemorySystem::access`] — the batch entry point is an optimisation
+/// channel (e.g. a prebuilt translation plan keyed by `mem_idx`), never a
+/// semantic fork; `tests/hotpath_invariance.rs` enforces this across the
+/// whole architecture registry.
+pub trait BatchMemory: MemorySystem {
+    /// Called once after `core`'s batch is (re)filled and before any of
+    /// its ops execute: the hook where translation plans are built.
+    fn begin_batch(&mut self, core: usize, batch: &RefBatch) {
+        let _ = (core, batch);
+    }
+
+    /// Services one batched access; `mem_idx` is the op's index among the
+    /// batch's memory ops (its translation-plan slot).
+    // lint: hot-path
+    #[inline]
+    fn access_batched(
+        &mut self,
+        core: usize,
+        mem_idx: u32,
+        addr: u64,
+        write: bool,
+        now: u64,
+    ) -> Reply {
+        let _ = mem_idx;
+        self.access(core, addr, write, now)
+    }
+}
+
+/// Groups `keys` (one per memory op, in issue order) into maximal runs
+/// of *consecutive equal keys* as `(key, start, len)`, then sorts the
+/// runs by `(key, start)`: all runs of one key become adjacent (the
+/// translation-plan builder probes each distinct key once) while equal
+/// keys keep issue order — the start-index tiebreak makes the unstable
+/// sort stable in effect. Reuses `runs`'s allocation.
+// lint: hot-path
+pub fn group_sorted_runs(keys: &[u64], runs: &mut Vec<(u64, u32, u32)>) {
+    runs.clear();
+    let mut prev = None;
+    for (i, &k) in keys.iter().enumerate() {
+        if prev == Some(k) {
+            // INVARIANT: `prev` is `Some` only after a run was opened.
+            runs.last_mut().expect("open run").2 += 1;
+        } else {
+            runs.push((k, i as u32, 1));
+            prev = Some(k);
+        }
+    }
+    runs.sort_unstable_by_key(|&(k, start, _)| (k, start));
+}
+
+/// Fills `batch` with up to `max_ops` ops pulled from `stream` via
+/// [`InstructionStream::next_op`] — the reference decoder every
+/// specialised [`InstructionStream::fill_batch`] override must match
+/// op-for-op (the workloads crate's proptests compare them directly).
+pub fn fill_by_next_op<S: InstructionStream + ?Sized>(
+    stream: &mut S,
+    batch: &mut RefBatch,
+    max_ops: usize,
+) {
+    for _ in 0..max_ops {
+        match stream.next_op() {
+            Some(op) => batch.push_op(op),
+            None => {
+                batch.mark_ended();
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Seq(Vec<Op>);
+    impl InstructionStream for Seq {
+        fn next_op(&mut self) -> Option<Op> {
+            if self.0.is_empty() {
+                None
+            } else {
+                Some(self.0.remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_ops_in_order() {
+        let ops = vec![
+            Op::Compute(3),
+            Op::Load(0x1000),
+            Op::Store(0x2000),
+            Op::Compute(1),
+            Op::Load(0x1040),
+        ];
+        let mut b = RefBatch::with_capacity(8);
+        fill_by_next_op(&mut Seq(ops.clone()), &mut b, 16);
+        assert!(b.ended(), "stream exhausted inside the fill");
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.mem_refs(), 3);
+        let mut replayed = Vec::new();
+        let mut mem_indices = Vec::new();
+        while let Some((kind, payload, mem_idx)) = b.take_next() {
+            replayed.push(match kind {
+                OpKind::Compute => Op::Compute(payload as u32),
+                OpKind::Load => Op::Load(payload),
+                OpKind::Store => Op::Store(payload),
+            });
+            if kind != OpKind::Compute {
+                mem_indices.push(mem_idx);
+            }
+        }
+        assert_eq!(replayed, ops);
+        assert_eq!(
+            mem_indices,
+            vec![0, 1, 2],
+            "mem ops numbered in issue order"
+        );
+    }
+
+    #[test]
+    fn fill_respects_cap_and_continues() {
+        let ops: Vec<Op> = (0..10).map(|i| Op::Load(i * 64)).collect();
+        let mut s = Seq(ops);
+        let mut b = RefBatch::with_capacity(4);
+        fill_by_next_op(&mut s, &mut b, 4);
+        assert_eq!(b.len(), 4);
+        assert!(!b.ended(), "stream not exhausted yet");
+        while b.take_next().is_some() {}
+        assert!(b.is_empty());
+        b.clear();
+        fill_by_next_op(&mut s, &mut b, 100);
+        assert_eq!(b.len(), 6);
+        assert!(b.ended());
+    }
+
+    #[test]
+    fn mem_ops_view_matches_plan_indices() {
+        let mut b = RefBatch::with_capacity(4);
+        b.push_compute(7);
+        b.push_mem(0xAAA0, false);
+        b.push_mem(0xBBB0, true);
+        let view: Vec<_> = b.mem_ops().collect();
+        assert_eq!(view, vec![(0, 0xAAA0, false), (1, 0xBBB0, true)]);
+    }
+
+    #[test]
+    fn group_sorted_runs_groups_and_orders() {
+        let mut runs = Vec::new();
+        group_sorted_runs(&[5, 5, 9, 5, 9, 9], &mut runs);
+        assert_eq!(runs, vec![(5, 0, 2), (5, 3, 1), (9, 2, 1), (9, 4, 2)]);
+        group_sorted_runs(&[], &mut runs);
+        assert!(runs.is_empty());
+        // u64::MAX is an ordinary key, not a sentinel.
+        group_sorted_runs(&[u64::MAX, u64::MAX], &mut runs);
+        assert_eq!(runs, vec![(u64::MAX, 0, 2)]);
+    }
+
+    proptest::proptest! {
+        /// The runs are an exact partition of the input in `(key, start)`
+        /// order, and equal keys keep issue order: within one key the
+        /// starts are strictly increasing and concatenating its runs'
+        /// index ranges reproduces exactly that key's positions, in
+        /// original order.
+        #[test]
+        fn group_sorted_runs_is_a_stable_partition(
+            keys in proptest::collection::vec(0u64..8, 0..200),
+        ) {
+            let mut runs = Vec::new();
+            group_sorted_runs(&keys, &mut runs);
+            // Sorted by (key, start), runs non-empty and maximal.
+            for w in runs.windows(2) {
+                proptest::prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+            }
+            let total: u64 = runs.iter().map(|r| u64::from(r.2)).sum();
+            proptest::prop_assert_eq!(total, keys.len() as u64);
+            for &(key, start, len) in &runs {
+                proptest::prop_assert!(len > 0);
+                let range = start as usize..(start as usize + len as usize);
+                proptest::prop_assert!(range.end <= keys.len());
+                proptest::prop_assert!(keys[range].iter().all(|&k| k == key));
+                // Maximality: a run never abuts an equal neighbour.
+                if start > 0 {
+                    proptest::prop_assert_ne!(keys[start as usize - 1], key);
+                }
+            }
+            // Stability: per key, concatenated runs reproduce that key's
+            // positions in original (issue) order.
+            let mut distinct: Vec<u64> = keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for key in distinct {
+                let replayed: Vec<usize> = runs
+                    .iter()
+                    .filter(|r| r.0 == key)
+                    .flat_map(|r| r.1 as usize..r.1 as usize + r.2 as usize)
+                    .collect();
+                let original: Vec<usize> = keys
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &k)| k == key)
+                    .map(|(i, _)| i)
+                    .collect();
+                proptest::prop_assert_eq!(replayed, original);
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Sharded batch refill: the only module in the simulation crates that
+//! may touch host threads.
+//!
+//! Per-core instruction streams are pure, independent generators, so
+//! refilling several cores' [`RefBatch`]es is embarrassingly parallel:
+//! each (stream, batch) pair is owned by exactly one worker for the
+//! duration of a scoped pool, and results land in position-addressed
+//! per-core buffers. The merge order is therefore fixed by core index —
+//! not by scheduling — which makes the parallel fill bit-identical to
+//! the serial one for any thread count (enforced by the 1-vs-4-thread
+//! case in `tests/hotpath_invariance.rs`).
+//!
+//! `std::thread::scope` is deliberately confined to this file; the lint
+//! determinism rule bans thread primitives everywhere else in the
+//! simulation crates, with this module's use sanctioned by an explicit
+//! allowlist entry.
+
+use crate::batch::{RefBatch, BATCH_OPS};
+use crate::InstructionStream;
+
+/// Refills `batches[i]` from `streams[i]` for every `i` with `need[i]`
+/// set, using up to `threads` host threads (`<= 1` runs inline, the
+/// default). Every refilled batch is cleared first and then filled with
+/// up to [`BATCH_OPS`] ops.
+pub(crate) fn fill_batches<S: InstructionStream + Send>(
+    streams: &mut [S],
+    batches: &mut [RefBatch],
+    need: &[bool],
+    threads: usize,
+) {
+    debug_assert_eq!(streams.len(), batches.len());
+    debug_assert_eq!(streams.len(), need.len());
+    if threads <= 1 {
+        for ((stream, batch), &needed) in streams.iter_mut().zip(batches.iter_mut()).zip(need) {
+            if needed {
+                batch.clear();
+                stream.fill_batch(batch, BATCH_OPS);
+            }
+        }
+        return;
+    }
+    let mut work: Vec<(&mut S, &mut RefBatch)> = Vec::with_capacity(streams.len());
+    for (pair, &needed) in streams.iter_mut().zip(batches.iter_mut()).zip(need) {
+        if needed {
+            work.push(pair);
+        }
+    }
+    if work.is_empty() {
+        return;
+    }
+    // Contiguous shards keep the number of spawns at most `threads`; a
+    // shard owns its pairs exclusively, so no fill observes another.
+    let shard = work.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for chunk in work.chunks_mut(shard) {
+            scope.spawn(move || {
+                for (stream, batch) in chunk.iter_mut() {
+                    batch.clear();
+                    stream.fill_batch(batch, BATCH_OPS);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    struct Counting {
+        next: u64,
+        limit: u64,
+    }
+    impl InstructionStream for Counting {
+        fn next_op(&mut self) -> Option<Op> {
+            if self.next >= self.limit {
+                return None;
+            }
+            self.next += 1;
+            Some(Op::Load(self.next * 64))
+        }
+    }
+
+    fn drain(b: &mut RefBatch) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some((_, payload, _)) = b.take_next() {
+            out.push(payload);
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial() {
+        let mk = || -> Vec<Counting> {
+            (0..5)
+                .map(|i| Counting {
+                    next: i * 1000,
+                    limit: i * 1000 + 500,
+                })
+                .collect()
+        };
+        let fill = |threads: usize| -> Vec<Vec<u64>> {
+            let mut streams = mk();
+            let mut batches: Vec<RefBatch> =
+                (0..5).map(|_| RefBatch::with_capacity(BATCH_OPS)).collect();
+            let need = vec![true; 5];
+            fill_batches(&mut streams, &mut batches, &need, threads);
+            batches.iter_mut().map(drain).collect()
+        };
+        assert_eq!(fill(1), fill(4), "thread count must be invisible");
+    }
+
+    #[test]
+    fn unneeded_batches_left_untouched() {
+        let mut streams = vec![
+            Counting { next: 0, limit: 4 },
+            Counting { next: 0, limit: 4 },
+        ];
+        let mut batches = vec![
+            RefBatch::with_capacity(BATCH_OPS),
+            RefBatch::with_capacity(BATCH_OPS),
+        ];
+        batches[1].push_compute(9);
+        fill_batches(&mut streams, &mut batches, &[true, false], 2);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 1, "not cleared, not refilled");
+    }
+}

@@ -1,4 +1,5 @@
-//! Fixture: wall-clock and hash-order iteration in sim code (must fail).
+//! Fixture: wall-clock, hash-order iteration, and ad-hoc host threading
+//! in sim code (must fail).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -14,4 +15,13 @@ pub fn snapshot(t: &Tracker) -> (u64, u128) {
         sum += page + u64::from(*count);
     }
     (sum, start.elapsed().as_nanos())
+}
+
+pub fn racy_sum(values: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        let h = s.spawn(|| values.iter().sum::<u64>());
+        total = h.join().unwrap_or(0);
+    });
+    total
 }

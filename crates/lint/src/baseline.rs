@@ -6,9 +6,13 @@
 //!   *stale* and fails the run until removed — the baseline can only
 //!   shrink, never grow (run `--write-baseline` after burning findings
 //!   down).
-//! * **Allowlist** (`crates/lint/allowlist.txt`): sanctioned wall-clock
-//!   uses in `sweep`/`bench` progress and measurement code, one line per
-//!   `rule<TAB-or-space>path<TAB-or-space>token` (token `*` matches any).
+//! * **Allowlist** (`crates/lint/allowlist.txt`): sanctioned
+//!   determinism-rule uses — wall-clock in `sweep`/`bench` progress and
+//!   measurement code, scoped thread pools in the deterministic-merge
+//!   modules (the cpu crate's sharded batch fill, the sweep engine) — one
+//!   line per `rule<TAB-or-space>path<TAB-or-space>token` (token `*`
+//!   matches any). Entries apply in every determinism scope, so a strict
+//!   crate can sanction a single use without loosening the whole crate.
 
 use std::fs;
 use std::io;

@@ -20,9 +20,21 @@ pub const HOT_PATH_BANNED: &[&str] = &[
     "HashMap",
 ];
 
-/// Wall-clock and ambient-randomness tokens banned in simulation crates
-/// (a simulated decision seeded from real time is unreproducible).
-pub const DET_BANNED: &[&str] = &["std::time", "Instant", "SystemTime", "thread_rng"];
+/// Wall-clock, ambient-randomness, and host-threading tokens banned in
+/// simulation crates (a simulated decision seeded from real time is
+/// unreproducible, and ad-hoc thread pools order results by host
+/// scheduling). Sanctioned uses — the sharded batch fill, the sweep
+/// worker pool — carry explicit `allowlist.txt` entries instead of a
+/// scope-wide exemption.
+pub const DET_BANNED: &[&str] = &[
+    "std::time",
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "std::thread",
+    "thread::scope",
+    "rayon",
+];
 
 /// Iteration adaptors that observe hash order when called on a
 /// `HashMap`/`HashSet`.

@@ -52,6 +52,10 @@ fn determinism_fail_fixture_is_caught() {
         toks.contains(&"pages"),
         "hash-order iteration missed: {findings:?}"
     );
+    assert!(
+        toks.contains(&"std::thread") && toks.contains(&"thread::scope"),
+        "host-threading tokens missed: {findings:?}"
+    );
 }
 
 #[test]

@@ -1,9 +1,9 @@
 //! The full simulated system: cores → caches → OS translation →
 //! heterogeneous memory architecture.
 
-use chameleon_cache::{CacheStats, Hierarchy, HitLevel};
+use chameleon_cache::{CacheStats, Hierarchy, HitLevel, PrefetchBuf, WritebackBuf};
 use chameleon_core::policy::{HmaPolicy, ModeDistribution};
-use chameleon_cpu::{MemorySystem, MultiCore, Reply, RunReport};
+use chameleon_cpu::{BatchMemory, MemorySystem, MultiCore, RefBatch, Reply, RunReport};
 use chameleon_os::guidance::{GuidanceEngine, GuidanceEpochReport};
 use chameleon_os::numa::{AutoNuma, EpochReport};
 use chameleon_os::page_table::PAGE_SIZE;
@@ -59,6 +59,57 @@ pub struct SystemReport {
 /// bits index the slot directly, like a direct-mapped TLB).
 const MEMO_SLOTS: usize = 4096;
 
+/// How [`System::run`] steps its cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// One stream op at a time ([`MultiCore::run`]). The default: on a
+    /// single-CPU host the batched spine's buffer round-trip costs ~10
+    /// ns/reference that its translation plan cannot win back, because
+    /// the generation-keyed memo already makes resident translation
+    /// nearly free (measured decomposition in DESIGN.md §16).
+    #[default]
+    Scalar,
+    /// Pre-decoded [`RefBatch`]es replayed through the scalar schedule,
+    /// with a per-batch translation plan ([`MultiCore::run_batched`]).
+    /// Bit-identical to [`StepMode::Scalar`] by construction — enforced
+    /// across the architecture registry by `tests/hotpath_invariance.rs`.
+    /// Its decode stage shards across host threads
+    /// ([`System::set_fill_threads`]), the lever that pays off on
+    /// multi-core hosts.
+    Batched,
+}
+
+/// One core's translation plan over its current [`RefBatch`]: the batched
+/// spine's software pipeline stage. Built once per refill from
+/// side-effect-free probes ([`OsKernel::peek_translate`] plus the memo),
+/// then consulted per access with a single generation check.
+///
+/// The builder groups memory ops into runs of *consecutive identical
+/// VPNs* and translates once per run. It deliberately does **not** sort
+/// the runs into segment-group order first: that variant was implemented
+/// and measured ~33 ns/reference slower — the `sort_unstable` was 40% of
+/// the whole batched run's CPU time, while the probes it amortised are
+/// already near-free memo hits (see DESIGN.md §16 for the numbers).
+struct BatchPlan {
+    /// Physical address per memory op (plan-indexed). `u64::MAX` marks an
+    /// op whose page was not resident at plan time — it falls back to the
+    /// full scalar translate-and-touch path.
+    paddrs: Vec<u64>,
+    /// Kernel mapping generation the plan was built at; `u64::MAX` means
+    /// invalid. Any translation-retiring event moves the kernel's
+    /// generation and thereby disowns every outstanding plan.
+    generation: u64,
+}
+
+impl Default for BatchPlan {
+    fn default() -> Self {
+        Self {
+            paddrs: Vec::new(),
+            generation: u64::MAX,
+        }
+    }
+}
+
 /// A complete simulated machine for one architecture.
 ///
 /// See the crate-level docs for a usage example.
@@ -86,6 +137,12 @@ pub struct System {
     memo_frames: Vec<u64>,
     memo_gen: u64,
     memo_enabled: bool,
+    /// Per-core translation plans for the batched spine (empty + invalid
+    /// until [`BatchMemory::begin_batch`] builds them).
+    plans: Vec<BatchPlan>,
+    step_mode: StepMode,
+    /// Host threads for the parallel batch decode (1 = inline serial).
+    fill_threads: usize,
 }
 
 impl System {
@@ -139,7 +196,28 @@ impl System {
             memo_frames: vec![0; params.cores * MEMO_SLOTS],
             memo_gen: 0,
             memo_enabled: true,
+            plans: (0..params.cores).map(|_| BatchPlan::default()).collect(),
+            step_mode: StepMode::default(),
+            fill_threads: 1,
         }
+    }
+
+    /// Selects how [`System::run`] steps its cores (scalar by default;
+    /// both modes produce bit-identical reports).
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.step_mode = mode;
+    }
+
+    /// Sets the host-thread count for the batched spine's parallel
+    /// decode stage (1 = inline serial; the default). Any value yields
+    /// bit-identical reports — the shard merge is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_fill_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "at least one fill thread required");
+        self.fill_threads = threads;
     }
 
     /// Enables or disables the per-core translation memo (on by default).
@@ -394,6 +472,9 @@ impl System {
         self.memo_tags[start..start + MEMO_SLOTS]
             .iter_mut()
             .for_each(|t| *t = u64::MAX);
+        // A rebinding also orphans the core's translation plan: plans are
+        // keyed by the pid bound when they were built.
+        self.plans[core].generation = u64::MAX;
     }
 
     /// Names the workload in reports (scenario drivers compose their own
@@ -452,9 +533,22 @@ impl System {
     /// Runs the streams to completion and reports everything the paper's
     /// figures need.
     pub fn run(&mut self, streams: Vec<AppStream>) -> SystemReport {
-        let mut cores = MultiCore::new(self.params.cores, self.params.core);
-        let run = cores.run(streams, self);
+        let run = self.run_cores(streams);
         self.report(run)
+    }
+
+    /// Drives one set of streams to completion in the configured
+    /// [`StepMode`] without closing out the report (warm-up runs reuse
+    /// this).
+    fn run_cores(&mut self, streams: Vec<AppStream>) -> RunReport {
+        let mut cores = MultiCore::new(self.params.cores, self.params.core);
+        match self.step_mode {
+            StepMode::Scalar => cores.run(streams, self),
+            StepMode::Batched => {
+                let threads = self.fill_threads;
+                cores.run_batched(streams, self, threads)
+            }
+        }
     }
 
     /// The paper's measurement protocol (Section VI-A): allocate the full
@@ -478,8 +572,7 @@ impl System {
         let streams = self.spawn_rate_workload(app, warmup, seed)?;
         self.prefault_all().map_err(|e| e.to_string())?;
         // Warm-up: same seed, so the same hot/medium regions are touched.
-        let mut cores = MultiCore::new(self.params.cores, self.params.core);
-        let _ = cores.run(streams, self);
+        let _ = self.run_cores(streams);
         self.reset_measurement();
         let streams = self.respawn_streams(app, measure, seed)?;
         Ok(self.run(streams))
@@ -591,11 +684,34 @@ impl MemorySystem for System {
             fault_stall = touch.stall;
         }
 
-        let outcome = self.hierarchy.access(core, paddr, write);
-        let mut latency = outcome.sram_latency as u64;
+        self.finish_access(core, paddr, write, now, fault_stall)
+    }
+}
+
+impl System {
+    /// The post-translation half of an access: hierarchy walk, memory
+    /// timing, epoch bookkeeping, writeback and prefetch drains. Shared
+    /// verbatim by the scalar and batched spines — translation is the
+    /// only thing the batch plan short-circuits.
+    // lint: hot-path
+    #[inline]
+    fn finish_access(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        write: bool,
+        now: u64,
+        fault_stall: u64,
+    ) -> Reply {
+        let mut memory_writebacks = WritebackBuf::new();
+        let mut prefetches = PrefetchBuf::new();
+        let (level, sram_latency) =
+            self.hierarchy
+                .access_into(core, paddr, write, &mut memory_writebacks, &mut prefetches);
+        let mut latency = sram_latency as u64;
         let issue = now + latency;
 
-        if outcome.level == HitLevel::Memory {
+        if level == HitLevel::Memory {
             latency += self.policy.access(paddr, write, issue);
             if let Some(numa) = self.autonuma.as_mut() {
                 numa.record_access(paddr, self.os.memory_map().node_of(paddr));
@@ -619,20 +735,20 @@ impl MemorySystem for System {
             }
         }
         // Dirty LLC victims drain to memory as posted writes.
-        for wb in outcome.memory_writebacks {
+        for wb in memory_writebacks {
             self.policy.writeback(wb, issue);
         }
         // Stride-prefetch candidates: fetch from memory (off the critical
         // path) and install in the LLC. Addresses beyond the managed
         // physical range are dropped.
-        if !outcome.prefetches.is_empty() {
+        if !prefetches.is_empty() {
             let map = *self.os.memory_map();
             let lo = match self.os.config().visibility {
                 chameleon_os::Visibility::OffchipOnly => map.base(chameleon_os::NodeId::Offchip),
                 chameleon_os::Visibility::Both => 0,
             };
             let hi = map.total().bytes();
-            for pf in outcome.prefetches {
+            for pf in prefetches {
                 if pf >= lo && pf < hi {
                     self.policy.access(pf, false, issue);
                     self.hierarchy.install_prefetch(pf);
@@ -644,6 +760,104 @@ impl MemorySystem for System {
             latency,
             fault_stall,
         }
+    }
+}
+
+impl BatchMemory for System {
+    /// Builds `core`'s translation plan over the freshly filled batch —
+    /// the software pipeline's translate stage. Every probe here is
+    /// side-effect free (the memo and [`OsKernel::peek_translate`]
+    /// reproduce the resident-touch outcome without touching kernel
+    /// state), so building a plan is invisible to the simulation; pages
+    /// that are not resident at plan time stay `u64::MAX` and take the
+    /// full scalar fault path at access time.
+    // lint: hot-path
+    fn begin_batch(&mut self, core: usize, batch: &RefBatch) {
+        // Detach the plan so the builder can probe `self` freely.
+        let mut plan = std::mem::take(&mut self.plans[core]);
+        plan.generation = u64::MAX;
+        if self.pids.len() <= core {
+            // No process bound: every access would panic in translate
+            // anyway; leave the plan invalid.
+            self.plans[core] = plan;
+            return;
+        }
+        if self.memo_enabled {
+            // Sync the memo generation now so the probes below are valid
+            // (the scalar path does this lazily per access; flushing is
+            // invisible either way).
+            let gen = self.os.mapping_generation();
+            if gen != self.memo_gen {
+                self.memo_gen = gen;
+                self.memo_tags.iter_mut().for_each(|t| *t = u64::MAX);
+            }
+        }
+
+        // One linear pass, translating once per run of consecutive
+        // identical VPNs: a repeated VPN reuses the previous frame, a new
+        // VPN probes the memo and falls back to the side-effect-free page
+        // walk. Probe results are written back into the memo — invisible,
+        // because a memo fill is exactly what the scalar path's first
+        // resident touch of the page would have done.
+        plan.paddrs.clear();
+        plan.paddrs.reserve(batch.mem_refs() as usize);
+        let pid = self.pids[core];
+        let mut prev_vpn = u64::MAX;
+        let mut prev_frame = u64::MAX;
+        for (_, addr, _) in batch.mem_ops() {
+            let vpn = addr / PAGE_SIZE;
+            if vpn != prev_vpn {
+                prev_vpn = vpn;
+                let slot = core * MEMO_SLOTS + (vpn as usize & (MEMO_SLOTS - 1));
+                prev_frame = if self.memo_enabled && self.memo_tags[slot] == vpn {
+                    self.memo_frames[slot]
+                } else {
+                    match self.os.peek_translate(pid, vpn * PAGE_SIZE) {
+                        Some(frame) => {
+                            if self.memo_enabled {
+                                self.memo_tags[slot] = vpn;
+                                self.memo_frames[slot] = frame;
+                            }
+                            frame
+                        }
+                        None => u64::MAX,
+                    }
+                };
+            }
+            plan.paddrs.push(if prev_frame == u64::MAX {
+                u64::MAX
+            } else {
+                prev_frame + addr % PAGE_SIZE
+            });
+        }
+        plan.generation = self.os.mapping_generation();
+        self.plans[core] = plan;
+    }
+
+    // lint: hot-path
+    #[inline]
+    fn access_batched(
+        &mut self,
+        core: usize,
+        mem_idx: u32,
+        addr: u64,
+        write: bool,
+        now: u64,
+    ) -> Reply {
+        // One generation compare decides whether the plan still speaks
+        // for the kernel; any translation-retiring event since plan time
+        // (swap-out, exit, migration) disowns it and the op replays the
+        // scalar path.
+        let plan = &self.plans[core];
+        if plan.generation == self.os.mapping_generation() {
+            let paddr = plan.paddrs[mem_idx as usize];
+            if paddr != u64::MAX {
+                // Plan hit ≡ memo hit ≡ resident touch: paddr known, no
+                // fault, zero stall, no kernel side effects.
+                return self.finish_access(core, paddr, write, now, 0);
+            }
+        }
+        self.access(core, addr, write, now)
     }
 }
 

@@ -1,23 +1,37 @@
-//! The translation memo is pure memoisation: with it on or off, a run
-//! must produce a bit-identical [`chameleon::SystemReport`] — same IPC,
-//! same hit rates, same swap counts, same epoch timeline, same event
-//! trace. These tests enforce that mechanically across *every*
-//! registered architecture ([`Architecture::all`]), so a new scheme is
-//! covered the moment it joins the registry and any future change that
-//! lets the memo observe (or cause) a behavioural difference fails
-//! loudly rather than skewing figures.
+//! The hot-path optimisations are pure: the translation memo, the
+//! batched step mode, and its parallel decode must each produce a
+//! bit-identical [`chameleon::SystemReport`] — same IPC, same hit rates,
+//! same swap counts, same epoch timeline, same event trace. These tests
+//! enforce that mechanically across *every* registered architecture
+//! ([`Architecture::all`]), so a new scheme is covered the moment it
+//! joins the registry and any future change that lets an optimisation
+//! observe (or cause) a behavioural difference fails loudly rather than
+//! skewing figures.
 
-use chameleon::{Architecture, ScaledParams, System};
+use chameleon::{Architecture, ScaledParams, StepMode, System};
 
-/// Runs one tiny measured cell with the memo forced on or off.
-fn run_cell(arch: Architecture, memo: bool) -> chameleon::SystemReport {
+/// Runs one tiny measured cell in the given hot-path configuration.
+fn run_cell_with(
+    arch: Architecture,
+    memo: bool,
+    mode: StepMode,
+    fill_threads: usize,
+) -> chameleon::SystemReport {
     let params = ScaledParams::tiny();
     let mut s = System::new(arch, &params);
     s.set_memo_enabled(memo);
+    s.set_step_mode(mode);
+    s.set_fill_threads(fill_threads);
     let streams = s.spawn_rate_workload("mcf", 30_000, 11).unwrap();
     s.prefault_all().unwrap();
     s.reset_measurement();
     s.run(streams)
+}
+
+/// Runs one tiny measured cell with the memo forced on or off (scalar
+/// stepping: the memo tests predate batching and pin its baseline).
+fn run_cell(arch: Architecture, memo: bool) -> chameleon::SystemReport {
+    run_cell_with(arch, memo, StepMode::Scalar, 1)
 }
 
 /// Serialised form of a report: the full observable outcome, including
@@ -43,41 +57,111 @@ fn memo_invisible_for_every_registered_architecture() {
     }
 }
 
+/// The batched spine's oracle: for every registered architecture
+/// (including the guided online-profiler tier), batch mode — memo on,
+/// memo off, and with the parallel decode sharded over four threads —
+/// reproduces the scalar report byte for byte.
+#[test]
+fn batch_mode_bit_identical_for_every_registered_architecture() {
+    for arch in Architecture::all() {
+        let scalar = canonical(&run_cell_with(arch, true, StepMode::Scalar, 1));
+        for (memo, threads) in [(true, 1), (false, 1), (true, 4)] {
+            let batched = run_cell_with(arch, memo, StepMode::Batched, threads);
+            assert_eq!(
+                scalar,
+                canonical(&batched),
+                "{arch:?}: batched step (memo={memo}, threads={threads}) \
+                 diverged from scalar"
+            );
+        }
+    }
+}
+
+/// Decode parallelism is pure throughput: any thread count yields the
+/// same bytes (the shard merge is deterministic, and the refill set is a
+/// function of simulation state, never host timing).
+#[test]
+fn fill_thread_count_is_invisible() {
+    let one = canonical(&run_cell_with(
+        Architecture::ChameleonOpt,
+        true,
+        StepMode::Batched,
+        1,
+    ));
+    for threads in [2, 3, 8] {
+        let n = run_cell_with(Architecture::ChameleonOpt, true, StepMode::Batched, threads);
+        assert_eq!(one, canonical(&n), "{threads} fill threads diverged");
+    }
+}
+
 /// The memo must also be invisible when mappings churn mid-run: an
 /// AutoNUMA system migrates pages every epoch, exercising the
-/// generation-flush path continuously.
+/// generation-flush path continuously. Batch mode rides along: epoch
+/// migrations disown outstanding translation plans mid-batch, forcing
+/// the plan-miss fallback.
 #[test]
 fn memo_invisible_under_numa_migration() {
-    let run = |memo: bool| {
+    let run = |memo: bool, mode: StepMode| {
         let params = ScaledParams::tiny();
         let mut s = System::new(Architecture::AutoNuma { threshold_pct: 90 }, &params);
         s.set_memo_enabled(memo);
+        s.set_step_mode(mode);
         s.set_epoch_accesses(500);
         let streams = s.spawn_rate_workload("stream", 60_000, 3).unwrap();
         s.prefault_all().unwrap();
         s.reset_measurement();
         s.run(streams)
     };
-    assert_eq!(canonical(&run(true)), canonical(&run(false)));
+    let baseline = canonical(&run(true, StepMode::Scalar));
+    assert_eq!(baseline, canonical(&run(false, StepMode::Scalar)));
+    assert_eq!(baseline, canonical(&run(true, StepMode::Batched)));
+    assert_eq!(baseline, canonical(&run(false, StepMode::Batched)));
 }
 
 /// Same invariance under swap pressure: an undersized flat memory pages
-/// against the SSD, so translations are retired (and the memo flushed)
-/// throughout the measured run.
+/// against the SSD, so translations are retired (and the memo flushed,
+/// and batch translation plans disowned) throughout the measured run —
+/// the plan-miss fallback path runs constantly, and demand faults fire
+/// from inside batched accesses.
 #[test]
 fn memo_invisible_under_swap_pressure() {
-    let run = |memo: bool| {
+    let run = |memo: bool, mode: StepMode| {
         let mut params = ScaledParams::tiny();
         params.hma.offchip.capacity = chameleon::simkit::mem::ByteSize::mib(16);
         params.footprint_scale = 64;
         let mut s = System::new(Architecture::FlatSmall, &params);
         s.set_memo_enabled(memo);
+        s.set_step_mode(mode);
         let streams = s.spawn_rate_workload("stream", 60_000, 5).unwrap();
         s.prefault_all().unwrap();
         s.reset_measurement();
         s.run(streams)
     };
-    let a = run(true);
+    let a = run(true, StepMode::Scalar);
     assert!(a.major_faults > 0, "cell must actually swap to be a test");
-    assert_eq!(canonical(&a), canonical(&run(false)));
+    let baseline = canonical(&a);
+    assert_eq!(baseline, canonical(&run(false, StepMode::Scalar)));
+    assert_eq!(baseline, canonical(&run(true, StepMode::Batched)));
+    assert_eq!(baseline, canonical(&run(false, StepMode::Batched)));
+}
+
+/// Batch invariance for a multi-programmed mix: cores retire at very
+/// different rates, so batch refills interleave unevenly and the
+/// min-clock schedule is exercised across asymmetric streams.
+#[test]
+fn batch_mode_bit_identical_for_mixed_workloads() {
+    let run = |mode: StepMode| {
+        let params = ScaledParams::tiny();
+        let mut s = System::new(Architecture::ChameleonOpt, &params);
+        s.set_step_mode(mode);
+        let mix = chameleon::workloads::WorkloadMix::pair("mcf", "miniFE", params.cores);
+        let streams = s.spawn_mix(&mix, 30_000, 7).unwrap();
+        s.prefault_all().unwrap();
+        s.reset_measurement();
+        s.run(streams)
+    };
+    assert_eq!(
+        canonical(&run(StepMode::Scalar)),
+        canonical(&run(StepMode::Batched))
+    );
 }
