@@ -24,12 +24,12 @@ fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
 }
 
 #[test]
-fn committed_hotpath_report_matches_v2_schema() {
+fn committed_hotpath_report_matches_v3_schema() {
     let report = committed_report();
     assert_eq!(
         field(&report, "schema_version").as_u64(),
-        Some(2),
-        "BENCH_hotpath.json must be regenerated at schema v2"
+        Some(3),
+        "BENCH_hotpath.json must be regenerated at schema v3"
     );
     let Value::Array(cells) = field(&report, "cells") else {
         panic!("cells must be an array");
@@ -57,6 +57,67 @@ fn committed_hotpath_report_matches_v2_schema() {
             ),
         }
     }
+}
+
+#[test]
+fn committed_report_carries_stage_breakdown() {
+    let report = committed_report();
+    let stages = field(&report, "stages");
+    let decode = field(stages, "decode_ns_per_access")
+        .as_f64()
+        .expect("decode_ns_per_access");
+    let walk = field(stages, "walk_ns_per_access")
+        .as_f64()
+        .expect("walk_ns_per_access");
+    let glue = field(stages, "translate_glue_ns_per_access")
+        .as_f64()
+        .expect("translate_glue_ns_per_access");
+    let total = field(stages, "total_ns_per_access")
+        .as_f64()
+        .expect("total_ns_per_access");
+    assert!(decode > 0.0, "decode stage must be measured");
+    assert!(walk > 0.0, "walk stage must be measured");
+    assert!(glue >= 0.0, "glue residual is clamped non-negative");
+    // The glue is defined as the residual, so the parts must re-add to
+    // the measured total (up to float formatting).
+    assert!(
+        (decode + walk + glue - total).abs() <= 1e-6 * total.max(1.0),
+        "stage parts must sum to the total: {decode} + {walk} + {glue} != {total}"
+    );
+}
+
+#[test]
+fn committed_report_carries_batched_fill_probe() {
+    let report = committed_report();
+    let probe = field(&report, "batched_fill");
+    let Value::Array(threads) = field(probe, "fill_threads") else {
+        panic!("fill_threads must be an array");
+    };
+    let Value::Array(ns) = field(probe, "ns_per_access") else {
+        panic!("ns_per_access must be an array");
+    };
+    assert!(!threads.is_empty(), "probe must cover some thread counts");
+    assert_eq!(
+        threads.len(),
+        ns.len(),
+        "one measurement per probed thread count"
+    );
+    assert!(
+        threads.iter().any(|t| t.as_u64() == Some(1)),
+        "the single-threaded reference point must be probed"
+    );
+    for v in ns {
+        assert!(v.as_f64().unwrap_or(0.0) > 0.0, "measurements are positive");
+    }
+    let mode = field(probe, "default_mode").as_str().expect("default_mode");
+    assert!(
+        mode == "scalar" || mode == "batched",
+        "default_mode must name a StepMode, got {mode:?}"
+    );
+    assert!(
+        !field(probe, "note").as_str().expect("note").is_empty(),
+        "the probe must record its honest verdict"
+    );
 }
 
 #[test]

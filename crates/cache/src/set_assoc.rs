@@ -11,6 +11,25 @@ pub enum AccessKind {
     Write,
 }
 
+/// What a non-mutating [`SetAssocCache::classify_victim`] pass found —
+/// the fused fast path's deferred-commit protocol (see
+/// [`crate::Hierarchy::fast_access`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Classify {
+    /// The victim way is invalid or clean;
+    /// [`SetAssocCache::commit_clean_fill`] reproduces the miss path
+    /// exactly (no writeback).
+    CleanVictim {
+        /// Absolute index of the victim line (`set * ways + way`), so
+        /// the commit needs no second set computation.
+        idx: usize,
+    },
+    /// Committing later could not reproduce the reference access (dirty
+    /// victim, or a mutating victim-selection policy): the caller must
+    /// take the full path against the untouched cache.
+    Bail,
+}
+
 /// Result of a lookup-with-fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LookupResult {
@@ -330,6 +349,107 @@ impl SetAssocCache {
                 }
             },
         }
+    }
+
+    /// The fused fast path's hit probe: scans for `addr` exactly like
+    /// [`Self::access`] and, *only on a hit*, commits the identical hit
+    /// mutation (clock advance, LRU stamp, RRPV/dirty merge, stats) in
+    /// the same pass. On a miss nothing is touched — not even the clock
+    /// — so the caller may probe other caches or fall back to the full
+    /// reference walk against an unchanged cache.
+    ///
+    /// A hit therefore costs exactly what the reference hit path costs
+    /// (one [`Self::find_hit`] scan plus one line write), and a miss
+    /// costs only the scan.
+    // lint: hot-path
+    #[inline]
+    pub(crate) fn try_hit(&mut self, addr: u64, kind: AccessKind) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        let base = set_idx * self.ways;
+        let want = tag << Line::TAG_SHIFT | Line::RRPV_MASK | Line::DIRTY | Line::VALID;
+        let hit = match self.ways {
+            4 => Self::find_hit::<4>(&self.lines[base..], want),
+            8 => Self::find_hit::<8>(&self.lines[base..], want),
+            16 => Self::find_hit::<16>(&self.lines[base..], want),
+            _ => self.lines[base..][..self.ways]
+                .iter()
+                .position(|l| l.matches(tag)),
+        };
+        if let Some(i) = hit {
+            // `access` advances the clock before its scan; the scan does
+            // not read it, so advancing here yields the same stamp.
+            self.clock += 1;
+            let line = &mut self.lines[base + i];
+            if self.policy != ReplacementPolicy::Fifo {
+                line.used = self.clock;
+            }
+            line.key = (line.key & !Line::RRPV_MASK) | u64::from(kind == AccessKind::Write) << 1;
+            self.stats.record(kind, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One non-mutating victim scan for an `addr` the caller has already
+    /// established to be absent (via a failed [`Self::try_hit`]) — the
+    /// same fused first-invalid/oldest pass as [`Self::miss_fill`].
+    /// Returns [`Classify::Bail`] whenever committing later could not
+    /// reproduce [`Self::access`] exactly: a dirty victim (writeback),
+    /// or a valid-victim choice under a policy whose selection mutates
+    /// state (Random advances its RNG, SRRIP ages the set).
+    // lint: hot-path
+    #[inline]
+    pub(crate) fn classify_victim(&self, addr: u64) -> Classify {
+        let (set_idx, _) = self.locate(addr);
+        let base = set_idx * self.ways;
+        let set = &self.lines[base..][..self.ways];
+        let mut first_invalid = usize::MAX;
+        let mut oldest_idx = 0;
+        let mut oldest_used = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            if !l.valid() && first_invalid == usize::MAX {
+                first_invalid = i;
+            }
+            if l.used < oldest_used {
+                oldest_used = l.used;
+                oldest_idx = i;
+            }
+        }
+        // Same victim choice as `miss_fill`: first invalid way, else the
+        // policy's pick — which only the stamp-based policies make
+        // without mutating.
+        let victim = if first_invalid != usize::MAX {
+            first_invalid
+        } else {
+            match self.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest_idx,
+                _ => return Classify::Bail,
+            }
+        };
+        let line = &set[victim];
+        if line.valid() && line.dirty() {
+            return Classify::Bail;
+        }
+        Classify::CleanVictim { idx: base + victim }
+    }
+
+    /// Commits the clean-victim fill that [`Self::classify_victim`]
+    /// prepared: bit-identical to the miss half of [`Self::access`] for
+    /// a victim with no writeback (eviction accounting, SRRIP insertion
+    /// stamp, stats). `idx` is the absolute victim index from
+    /// [`Classify::CleanVictim`]; only the tag shift is recomputed.
+    // lint: hot-path
+    #[inline]
+    pub(crate) fn commit_clean_fill(&mut self, addr: u64, idx: usize, kind: AccessKind) {
+        self.clock += 1;
+        let tag = addr >> self.line_shift;
+        let line = &mut self.lines[idx];
+        if line.valid() {
+            self.stats.evictions.inc();
+        }
+        *line = Line::fill(tag, kind == AccessKind::Write, self.clock, 2);
+        self.stats.record(kind, false);
     }
 
     /// Whether `addr`'s line is currently present (no LRU update).

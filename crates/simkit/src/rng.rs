@@ -68,6 +68,41 @@ impl DeterministicRng {
         self.inner.gen::<f64>() < p
     }
 
+    /// One raw 64-bit draw — exactly one generator step, the same step
+    /// every other single-draw helper consumes. Exposed so precomputed
+    /// decode tables (`chameleon-workloads`) can replay a helper's draw
+    /// with pure integer arithmetic.
+    pub fn raw(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
+    /// The integer threshold that makes [`Self::chance_with`] replay
+    /// [`Self::chance`]`(p)` exactly.
+    ///
+    /// `chance(p)` compares `m * 2^-53 < p`, where `m` is the high 53
+    /// bits of one raw draw. Both sides are exact: `m * 2^-53` scales an
+    /// integer below 2^53 by a power of two, and `p * 2^53` likewise only
+    /// shifts `p`'s exponent. An integer `m` satisfies `m < p * 2^53`
+    /// iff `m < ceil(p * 2^53)`, so the ceiling is the exact count of
+    /// accepting draws and the comparison can be done in integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance_threshold(p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        (p * (1u64 << 53) as f64).ceil() as u64
+    }
+
+    /// Integer-only Bernoulli draw: `true` iff the high 53 bits of one
+    /// raw draw fall below `threshold` (from [`Self::chance_threshold`]).
+    /// Draw-for-draw identical to [`Self::chance`] — same accept set,
+    /// same single generator step — without the int→float convert and
+    /// float compare.
+    pub fn chance_with(&mut self, threshold: u64) -> bool {
+        (self.raw() >> 11) < threshold
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
         self.inner.gen::<f64>()
@@ -159,5 +194,40 @@ mod tests {
     #[should_panic(expected = "positive bound")]
     fn below_zero_bound_panics() {
         DeterministicRng::seed(0).below(0);
+    }
+
+    #[test]
+    fn chance_with_replays_chance_exactly() {
+        // Mirrored generators, probabilities spanning subnormal-adjacent,
+        // non-dyadic, and boundary values: every draw must agree, and the
+        // generators must stay in lockstep (one step per draw).
+        for p in [
+            0.0,
+            1e-300,
+            1e-12,
+            0.3,
+            0.5,
+            0.25706,
+            0.95,
+            1.0 - 1e-12,
+            1.0,
+        ] {
+            let thr = DeterministicRng::chance_threshold(p);
+            let mut a = DeterministicRng::seed(0xD1CE);
+            let mut b = DeterministicRng::seed(0xD1CE);
+            for i in 0..50_000 {
+                assert_eq!(a.chance(p), b.chance_with(thr), "p={p} draw {i}");
+            }
+            assert_eq!(a.raw(), b.raw(), "generators must stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn chance_threshold_extremes() {
+        assert_eq!(DeterministicRng::chance_threshold(0.0), 0);
+        assert_eq!(DeterministicRng::chance_threshold(1.0), 1 << 53);
+        let mut r = DeterministicRng::seed(4);
+        assert!(!r.chance_with(0));
+        assert!(r.chance_with(1 << 53));
     }
 }

@@ -176,16 +176,13 @@ impl SweepEngine {
                                 }
                             }
                             accesses = report.run.total_mem_ops();
-                            slots.lock().expect("slots lock")[idx] = Some(report);
+                            lock_recovered(&slots)[idx] = Some(report);
                         }
                         Ok(Err(msg)) => {
-                            failures.lock().expect("failures lock").push((idx, msg));
+                            lock_recovered(&failures).push((idx, msg));
                         }
                         Err(panic) => {
-                            failures
-                                .lock()
-                                .expect("failures lock")
-                                .push((idx, panic_message(panic.as_ref())));
+                            lock_recovered(&failures).push((idx, panic_message(panic.as_ref())));
                         }
                     }
                     progress.cell_done(accesses);
@@ -193,7 +190,9 @@ impl SweepEngine {
             }
         });
 
-        let mut failures = failures.into_inner().expect("failures lock");
+        let mut failures = failures
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !failures.is_empty() {
             failures.sort_by_key(|(idx, _)| *idx);
             return Err(SweepError::JobsFailed(
@@ -205,7 +204,7 @@ impl SweepEngine {
         }
         let reports = slots
             .into_inner()
-            .expect("slots lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .into_iter()
             // INVARIANT: the failures branch above returned early.
             .map(|r| r.expect("no failures means every slot is filled"))
@@ -216,6 +215,16 @@ impl SweepEngine {
             ran: pending.len(),
         })
     }
+}
+
+/// Locks a worker-shared mutex, recovering from poison: cell panics are
+/// already isolated by `catch_unwind`, so a poisoned lock can only mean
+/// some *other* worker died mid-append — and every critical section here
+/// is a single slot assignment or vector push, so the protected data is
+/// still well-formed. Recovering keeps the surviving workers (and the
+/// final collection pass) going instead of cascading the panic.
+fn lock_recovered<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

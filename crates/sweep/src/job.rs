@@ -89,6 +89,9 @@ impl Job {
             instructions: self.instructions,
             params,
         };
+        // INVARIANT: KeyPayload is strings, integers, and finite float
+        // config values in plain structs — no non-string map keys, no
+        // NaN (which serde_json rejects) — so serialisation cannot fail.
         let json = serde_json::to_string(&payload).expect("job description serialises");
         JobKey(fnv1a(json.as_bytes()))
     }

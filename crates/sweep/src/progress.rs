@@ -39,7 +39,13 @@ impl Progress {
     /// Records one finished cell that simulated `accesses` memory
     /// references (0 for failed cells) and repaints the line.
     pub fn cell_done(&self, accesses: u64) {
-        let mut s = self.state.lock().expect("progress lock");
+        // A poisoned lock means another worker panicked mid-update; the
+        // counters are monotone scalars, so recover the guard and keep
+        // painting rather than cascading the panic into this worker.
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         s.done += 1;
         s.accesses += accesses;
         if !self.enabled {

@@ -196,6 +196,17 @@ impl AppSpec {
         self.phase_mem_ops = mem_ops;
         self
     }
+
+    /// Precomputes the app's Table-II op-mix decode gates: the three
+    /// per-op Bernoulli decisions [`crate::AppStream`] makes, as exact
+    /// integer thresholds (see [`crate::decode`]).
+    pub fn op_gates(&self) -> crate::decode::OpMixGates {
+        crate::decode::OpMixGates {
+            stream: crate::decode::Bernoulli::new(self.stream_fraction),
+            medium: crate::decode::Bernoulli::new(self.medium_share),
+            write: crate::decode::Bernoulli::new(self.write_fraction),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 //! ```
 
 mod app;
+pub mod decode;
 pub mod mix;
 pub mod schedule;
 mod stream;
@@ -37,6 +38,7 @@ pub mod synth;
 pub mod trace;
 
 pub use app::{AppSpec, Suite};
+pub use decode::{Bernoulli, ZipfTable};
 pub use mix::WorkloadMix;
 pub use stream::AppStream;
 pub use synth::{LoopConfig, LoopStream, ZipfConfig, ZipfStream};

@@ -3,6 +3,7 @@
 use chameleon_cpu::{InstructionStream, Op, RefBatch};
 use chameleon_simkit::rng::DeterministicRng;
 
+use crate::decode::OpMixGates;
 use crate::AppSpec;
 
 /// A deterministic synthetic instruction stream for one copy of an
@@ -50,6 +51,12 @@ pub struct AppStream {
     rng: DeterministicRng,
     /// Pending memory op left over after emitting a compute gap.
     pending: Option<Op>,
+    /// Precomputed Table-II op-mix gates (integer thresholds replaying
+    /// the float Bernoulli draws exactly).
+    gates: OpMixGates,
+    /// `false` routes the per-op draws through the legacy float decoder
+    /// — the differential-test oracle ([`Self::set_table_decode`]).
+    table_decode: bool,
 }
 
 impl AppStream {
@@ -107,12 +114,49 @@ impl AppStream {
             instructions_left: instructions,
             rng,
             pending: None,
+            gates: spec.op_gates(),
+            table_decode: true,
         }
     }
 
     /// Total per-copy footprint in bytes.
     pub fn footprint_bytes(&self) -> u64 {
         self.footprint_lines * 64
+    }
+
+    /// Selects the decoder: `true` (the default) uses the precomputed
+    /// integer op-mix gates, `false` the legacy float Bernoulli draws.
+    /// Both emit the identical op sequence — the switch exists so the
+    /// differential proptests can compare them.
+    pub fn set_table_decode(&mut self, enabled: bool) {
+        self.table_decode = enabled;
+    }
+
+    #[inline]
+    fn draw_stream(&mut self) -> bool {
+        if self.table_decode {
+            self.gates.stream.draw(&mut self.rng)
+        } else {
+            self.rng.chance(self.stream_fraction)
+        }
+    }
+
+    #[inline]
+    fn draw_medium(&mut self) -> bool {
+        if self.table_decode {
+            self.gates.medium.draw(&mut self.rng)
+        } else {
+            self.rng.chance(self.medium_share)
+        }
+    }
+
+    #[inline]
+    fn draw_write(&mut self) -> bool {
+        if self.table_decode {
+            self.gates.write.draw(&mut self.rng)
+        } else {
+            self.rng.chance(self.write_fraction)
+        }
     }
 
     fn next_mem_op(&mut self) -> Op {
@@ -131,8 +175,8 @@ impl AppStream {
                 );
             }
         }
-        let addr = if self.rng.chance(self.stream_fraction) {
-            if self.rng.chance(self.medium_share) {
+        let addr = if self.draw_stream() {
+            if self.draw_medium() {
                 // Medium working set: short sequential runs revisiting a
                 // bounded, reused region.
                 if self.medium_run_left == 0 {
@@ -164,7 +208,7 @@ impl AppStream {
         } else {
             (self.hot_base + self.rng.below(self.hot_lines)) * 64
         };
-        if self.rng.chance(self.write_fraction) {
+        if self.draw_write() {
             Op::Store(addr)
         } else {
             Op::Load(addr)

@@ -10,6 +10,8 @@ use chameleon_simkit::mem::ByteSize;
 use chameleon_simkit::rng::DeterministicRng;
 use serde::{Deserialize, Serialize};
 
+use crate::decode::{Bernoulli, ZipfTable};
+
 /// Cache-line size the generators address at.
 const LINE: u64 = 64;
 
@@ -152,6 +154,12 @@ pub struct ZipfStream {
     write_fraction: f64,
     pacer: Pacer,
     rng: DeterministicRng,
+    /// Precomputed head-boundary rank table (see [`crate::decode`]).
+    table: ZipfTable,
+    write_gate: Bernoulli,
+    /// `false` routes draws through the legacy float decoder — the
+    /// differential-test oracle ([`Self::set_table_decode`]).
+    table_decode: bool,
 }
 
 impl ZipfStream {
@@ -163,12 +171,16 @@ impl ZipfStream {
     /// negative.
     pub fn new(cfg: &ZipfConfig, instructions: u64, seed: u64) -> Self {
         assert!(cfg.skew >= 0.0, "zipf skew must be non-negative");
+        let lines = footprint_lines(cfg.footprint);
         Self {
-            lines: footprint_lines(cfg.footprint),
+            lines,
             skew: cfg.skew,
             write_fraction: cfg.write_fraction,
             pacer: Pacer::new(cfg.mem_per_kilo, instructions),
             rng: DeterministicRng::seed(seed ^ 0x51BF_CAFE),
+            table: ZipfTable::new(lines, cfg.skew),
+            write_gate: Bernoulli::new(cfg.write_fraction),
+            table_decode: true,
         }
     }
 
@@ -177,8 +189,17 @@ impl ZipfStream {
         self.lines * LINE
     }
 
-    /// Draws a rank in `[0, lines)` with `1/r^skew` falloff.
-    fn rank(&mut self) -> u64 {
+    /// Selects the decoder: `true` (the default) draws ranks from the
+    /// precomputed table, `false` from the legacy float CDF inversion.
+    /// Both emit the identical op sequence — the switch exists so the
+    /// differential proptests can compare them.
+    pub fn set_table_decode(&mut self, enabled: bool) {
+        self.table_decode = enabled;
+    }
+
+    /// Draws a rank in `[0, lines)` with `1/r^skew` falloff — the legacy
+    /// float path, kept verbatim as the differential-test oracle.
+    fn rank_legacy(&mut self) -> u64 {
         let n = self.lines as f64;
         let u = self.rng.unit().clamp(0.0, 1.0 - 1e-12);
         let x = if (self.skew - 1.0).abs() < 1e-9 {
@@ -192,7 +213,11 @@ impl ZipfStream {
     }
 
     fn next_mem_op(&mut self) -> Op {
-        let rank = self.rank();
+        let rank = if self.table_decode {
+            self.table.rank(self.rng.raw())
+        } else {
+            self.rank_legacy()
+        };
         // SCATTER is prime and larger than any realistic line count, so
         // it is coprime with `lines` and the mapping is a permutation.
         let line = if self.lines < SCATTER {
@@ -201,7 +226,12 @@ impl ZipfStream {
             rank
         };
         let addr = line * LINE;
-        if self.rng.chance(self.write_fraction) {
+        let is_write = if self.table_decode {
+            self.write_gate.draw(&mut self.rng)
+        } else {
+            self.rng.chance(self.write_fraction)
+        };
+        if is_write {
             Op::Store(addr)
         } else {
             Op::Load(addr)
@@ -225,6 +255,10 @@ pub struct LoopStream {
     write_fraction: f64,
     pacer: Pacer,
     rng: DeterministicRng,
+    write_gate: Bernoulli,
+    /// `false` routes draws through the legacy float decoder — the
+    /// differential-test oracle ([`Self::set_table_decode`]).
+    table_decode: bool,
 }
 
 impl LoopStream {
@@ -244,6 +278,8 @@ impl LoopStream {
             write_fraction: cfg.write_fraction,
             pacer: Pacer::new(cfg.mem_per_kilo, instructions),
             rng,
+            write_gate: Bernoulli::new(cfg.write_fraction),
+            table_decode: true,
         }
     }
 
@@ -252,10 +288,32 @@ impl LoopStream {
         self.lines * LINE
     }
 
+    /// Selects the decoder: `true` (the default) advances the scan
+    /// cursor with a conditional subtract and gates stores through the
+    /// integer threshold; `false` is the legacy modulo + float path.
+    /// Both emit the identical op sequence.
+    pub fn set_table_decode(&mut self, enabled: bool) {
+        self.table_decode = enabled;
+    }
+
     fn next_mem_op(&mut self) -> Op {
         let addr = self.cursor * LINE;
-        self.cursor = (self.cursor + self.stride) % self.lines;
-        if self.rng.chance(self.write_fraction) {
+        let is_write;
+        if self.table_decode {
+            // `stride <= lines` and `cursor < lines`, so the sum is below
+            // `2 * lines` and one conditional subtract replaces the
+            // hardware divide — exactly.
+            let mut next = self.cursor + self.stride;
+            if next >= self.lines {
+                next -= self.lines;
+            }
+            self.cursor = next;
+            is_write = self.write_gate.draw(&mut self.rng);
+        } else {
+            self.cursor = (self.cursor + self.stride) % self.lines;
+            is_write = self.rng.chance(self.write_fraction);
+        }
+        if is_write {
             Op::Store(addr)
         } else {
             Op::Load(addr)

@@ -110,6 +110,19 @@ impl Default for BatchPlan {
     }
 }
 
+/// Default host-thread count for the batched spine's parallel decode:
+/// `CHAMELEON_FILL_THREADS` when set to a positive integer, otherwise 1
+/// (inline serial). The thread count is bit-invisible (enforced by the
+/// hot-path invariance suite), so this is a pure host-tuning knob — CI
+/// exercises the batch-mode smoke at both 1 and 4.
+fn fill_threads_from_env() -> usize {
+    std::env::var("CHAMELEON_FILL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// A complete simulated machine for one architecture.
 ///
 /// See the crate-level docs for a usage example.
@@ -143,6 +156,9 @@ pub struct System {
     step_mode: StepMode,
     /// Host threads for the parallel batch decode (1 = inline serial).
     fill_threads: usize,
+    /// Whether the fused L1/L2 fast-path walk may short-circuit the full
+    /// hierarchy walk (on by default; invisible either way).
+    fast_path_enabled: bool,
 }
 
 impl System {
@@ -198,8 +214,20 @@ impl System {
             memo_enabled: true,
             plans: (0..params.cores).map(|_| BatchPlan::default()).collect(),
             step_mode: StepMode::default(),
-            fill_threads: 1,
+            fill_threads: fill_threads_from_env(),
+            fast_path_enabled: true,
         }
+    }
+
+    /// Enables or disables the fused L1/L2 fast-path walk
+    /// ([`Hierarchy::fast_access`]; on by default).
+    ///
+    /// Like the memo, the fast path is an invisible optimisation —
+    /// reports are bit-identical either way (enforced by the hot-path
+    /// invariance tests); the switch exists so those tests can compare
+    /// both paths.
+    pub fn set_fast_path_enabled(&mut self, enabled: bool) {
+        self.fast_path_enabled = enabled;
     }
 
     /// Selects how [`System::run`] steps its cores (scalar by default;
@@ -703,6 +731,19 @@ impl System {
         now: u64,
         fault_stall: u64,
     ) -> Reply {
+        // Fused fast path: a clean L1/L2 SRAM hit has no writebacks, no
+        // prefetches, no policy access and no epoch bookkeeping — the
+        // reply is fully determined by the SRAM latency. `fast_access`
+        // either commits a walk bit-identical to `access_into` or leaves
+        // the hierarchy untouched for the full walk below.
+        if self.fast_path_enabled {
+            if let Some((_, sram_latency)) = self.hierarchy.fast_access(core, paddr, write) {
+                return Reply {
+                    latency: sram_latency as u64,
+                    fault_stall,
+                };
+            }
+        }
         let mut memory_writebacks = WritebackBuf::new();
         let mut prefetches = PrefetchBuf::new();
         let (level, sram_latency) =

@@ -10,22 +10,40 @@
 
 use chameleon::{Architecture, ScaledParams, StepMode, System};
 
-/// Runs one tiny measured cell in the given hot-path configuration.
-fn run_cell_with(
+/// Runs one tiny measured cell in the given hot-path configuration,
+/// including the fused-walk and table-decode switches.
+fn run_cell_tuned(
     arch: Architecture,
     memo: bool,
     mode: StepMode,
     fill_threads: usize,
+    fast_path: bool,
+    table_decode: bool,
 ) -> chameleon::SystemReport {
     let params = ScaledParams::tiny();
     let mut s = System::new(arch, &params);
     s.set_memo_enabled(memo);
     s.set_step_mode(mode);
     s.set_fill_threads(fill_threads);
-    let streams = s.spawn_rate_workload("mcf", 30_000, 11).unwrap();
+    s.set_fast_path_enabled(fast_path);
+    let mut streams = s.spawn_rate_workload("mcf", 30_000, 11).unwrap();
+    for stream in &mut streams {
+        stream.set_table_decode(table_decode);
+    }
     s.prefault_all().unwrap();
     s.reset_measurement();
     s.run(streams)
+}
+
+/// Runs one tiny measured cell in the given hot-path configuration
+/// (fused walk and decode tables at their defaults: enabled).
+fn run_cell_with(
+    arch: Architecture,
+    memo: bool,
+    mode: StepMode,
+    fill_threads: usize,
+) -> chameleon::SystemReport {
+    run_cell_tuned(arch, memo, mode, fill_threads, true, true)
 }
 
 /// Runs one tiny measured cell with the memo forced on or off (scalar
@@ -74,6 +92,45 @@ fn batch_mode_bit_identical_for_every_registered_architecture() {
                  diverged from scalar"
             );
         }
+    }
+}
+
+/// The fused L1/L2 fast path and the table-driven decoders are pure
+/// host-side optimisations: for every registered architecture, disabling
+/// either (or both) must reproduce the default report byte for byte — in
+/// scalar mode, and with the fast path off under the batched spine too,
+/// so neither switch can hide behind the other's code path.
+#[test]
+fn fast_path_and_decode_tables_invisible_for_every_registered_architecture() {
+    for arch in Architecture::all() {
+        let baseline = canonical(&run_cell_tuned(arch, true, StepMode::Scalar, 1, true, true));
+        for (fast, table) in [(false, true), (true, false), (false, false)] {
+            assert_eq!(
+                baseline,
+                canonical(&run_cell_tuned(
+                    arch,
+                    true,
+                    StepMode::Scalar,
+                    1,
+                    fast,
+                    table
+                )),
+                "{arch:?}: scalar (fast_path={fast}, table_decode={table}) \
+                 diverged from the default hot path"
+            );
+        }
+        assert_eq!(
+            baseline,
+            canonical(&run_cell_tuned(
+                arch,
+                true,
+                StepMode::Batched,
+                1,
+                false,
+                false
+            )),
+            "{arch:?}: batched with both optimisations off diverged"
+        );
     }
 }
 
