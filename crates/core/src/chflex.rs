@@ -334,6 +334,8 @@ impl HmaPolicy for ChFlexPolicy {
                         self.devices.fill_segment(
                             key * self.seg_bytes,
                             self.frame_addr(frame),
+                            // INVARIANT: seg_bytes is a transfer length (a
+                            // few KiB segment), not an address — fits u32.
                             self.seg_bytes as u32,
                             now,
                         );

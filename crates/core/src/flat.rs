@@ -148,10 +148,13 @@ impl IsaHook for StaticNumaPolicy {
         if addr < self.stacked_bytes {
             self.devices
                 .stacked
+                // INVARIANT: len is a page-copy length, not an address —
+                // allocations are page-granular and fit u32.
                 .bulk(addr, len as u32, MemOp::Write, now);
         } else {
             self.devices
                 .offchip
+                // INVARIANT: page-copy length, fits u32 — see above.
                 .bulk(addr - self.stacked_bytes, len as u32, MemOp::Write, now);
         }
     }
@@ -160,10 +163,12 @@ impl IsaHook for StaticNumaPolicy {
         if addr < self.stacked_bytes {
             self.devices
                 .stacked
+                // INVARIANT: page-copy length, fits u32 — see isa_alloc.
                 .bulk(addr, len as u32, MemOp::Read, now);
         } else {
             self.devices
                 .offchip
+                // INVARIANT: page-copy length, fits u32 — see isa_alloc.
                 .bulk(addr - self.stacked_bytes, len as u32, MemOp::Read, now);
         }
     }

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+//! Strict sim crate with violations only a call-graph pass can tie to
+//! the hot root: a helper-of-a-helper allocation, a lossy address cast,
+//! unbounded recursion, and a wall-clock leak through the sweep crate.
+
+pub fn helper(addr: u64) -> u64 {
+    deeper(addr)
+}
+
+fn deeper(addr: u64) -> u64 {
+    let v: Vec<u64> = vec![addr];
+    let small = addr as u32;
+    walk(v.len() as u64 + u64::from(small)) + justified(addr)
+}
+
+fn walk(n: u64) -> u64 {
+    if n == 0 {
+        0
+    } else {
+        walk(n - 1)
+    }
+}
+
+pub fn justified(addr: u64) -> u64 {
+    // INVARIANT: epoch-boundary staging, amortized off the hot path.
+    let v: Vec<u64> = vec![addr];
+    v[0]
+}
+
+pub fn timestamp() -> u64 {
+    chameleon_sweep::progress_now()
+}
+
+pub fn publish(reg: &mut Registry) {
+    reg.set_counter("core.hits", 1);
+    reg.set_counter("core.dead", 2);
+}
+
+pub struct Registry;
+
+impl Registry {
+    pub fn set_counter(&mut self, _name: &str, _v: u64) {}
+}

@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+//! Allowlisted-scope crate: wall-clock here is sanctioned per-use for
+//! the v1 local rule, but it taints every strict-crate caller.
+
+pub fn progress_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+//! Graph-fixture facade: the hot root whose reachability seeds the
+//! transitive passes. The violations live two crates away — v1's
+//! per-file scan cannot see any of them from here.
+
+pub struct System {
+    pub engine: Engine,
+}
+
+pub struct Engine;
+
+impl System {
+    // lint: hot-path
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.engine.step(addr)
+    }
+}
+
+impl Engine {
+    pub fn step(&mut self, addr: u64) -> u64 {
+        chameleon_core::helper(addr)
+    }
+}

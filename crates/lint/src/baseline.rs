@@ -23,11 +23,13 @@ use crate::Finding;
 /// One allowlist entry.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
-    /// Rule name (kebab-case, e.g. `determinism`).
+    /// Rule name (kebab-case, e.g. `determinism`, `determinism-taint`).
     pub rule: String,
-    /// Workspace-relative file path.
+    /// Workspace-relative file path, optionally fn-scoped
+    /// (`crates/cpu/src/batch/shard.rs#fill_shards`). Graph rules match
+    /// either form; the local rules match the bare file path.
     pub path: String,
-    /// Token the entry sanctions, or `*` for any token in the file.
+    /// Token the entry sanctions, or `*` for any token in the scope.
     pub token: String,
 }
 
@@ -41,16 +43,35 @@ impl AllowEntry {
 }
 
 /// Loads baseline keys; a missing file is an empty baseline.
+///
+/// Keys are rule-versioned (`rule@vN|file|token|context`). Legacy
+/// unversioned keys (`rule|…`) are rejected outright: a stale key would
+/// otherwise silently stop matching after a rule-semantics bump and
+/// mask the very findings the bump was meant to surface.
 pub fn load_baseline(path: &Path) -> io::Result<Vec<String>> {
     if !path.is_file() {
         return Ok(Vec::new());
     }
-    Ok(fs::read_to_string(path)?
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_string)
-        .collect())
+    let mut keys = Vec::new();
+    for (lineno, line) in fs::read_to_string(path)?.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule_field = line.split('|').next().unwrap_or("");
+        if !rule_field.contains("@v") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "baseline line {}: unversioned key `{rule_field}|…` — regenerate \
+                     with `chameleon-lint --write-baseline` (keys are now `rule@vN|…`)",
+                    lineno + 1
+                ),
+            ));
+        }
+        keys.push(line.to_string());
+    }
+    Ok(keys)
 }
 
 /// Writes the given finding keys as the new baseline, sorted and

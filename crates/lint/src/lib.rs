@@ -30,15 +30,23 @@
 //! modules, multi-line signatures).
 
 mod baseline;
+mod flow;
+pub mod graph;
+pub mod items;
+mod metrics;
+mod sarif;
 mod scan;
 mod source;
+pub mod tok;
 mod workspace;
 
 pub use baseline::{apply_baseline, load_allowlist, load_baseline, write_baseline, AllowEntry};
+pub use sarif::to_sarif;
 pub use scan::{has_unsafe_forbid, scan_file, DET_BANNED, HOT_PATH_BANNED};
 pub use workspace::{classify, scan_workspace, workspace_root_from, Report};
 
-/// The four enforced rule families.
+/// The enforced rule families. The first four are the v1 local (line
+/// token) rules; the rest ride on the workspace call graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Allocation/formatting tokens inside `// lint: hot-path` bodies.
@@ -49,6 +57,19 @@ pub enum Rule {
     PanicPolicy,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     UnsafeForbid,
+    /// Allocation tokens in any fn *reachable from* a hot root.
+    HotPathTransitive,
+    /// A sim-crate fn reaches a nondeterministic source outside the
+    /// strict crates (invisible to the local determinism rule).
+    DeterminismTaint,
+    /// A call cycle (over precisely-resolved edges) reachable from a
+    /// hot root: unbounded recursion on the per-reference spine.
+    HotPathRecursion,
+    /// A narrowing `as` cast applied to address-like arithmetic.
+    LossyCast,
+    /// A metric published in code but absent from the golden fixture,
+    /// or present in the golden but never published.
+    DeadMetric,
 }
 
 impl Rule {
@@ -59,7 +80,33 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicPolicy => "panic-policy",
             Rule::UnsafeForbid => "unsafe-forbid",
+            Rule::HotPathTransitive => "hot-path-transitive",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::HotPathRecursion => "hot-path-recursion",
+            Rule::LossyCast => "lossy-cast",
+            Rule::DeadMetric => "dead-metric",
         }
+    }
+
+    /// Rule semantics version, embedded in every baseline key as
+    /// `name@vN`. Bump when a rule's matching logic changes so stale
+    /// baseline entries die loudly instead of masking new findings.
+    pub fn version(self) -> u32 {
+        match self {
+            // The v1 local rules are at semantics version 2: same token
+            // lists, but keys gained the version tag itself.
+            Rule::HotPathAlloc | Rule::Determinism | Rule::PanicPolicy | Rule::UnsafeForbid => 2,
+            Rule::HotPathTransitive
+            | Rule::DeterminismTaint
+            | Rule::HotPathRecursion
+            | Rule::LossyCast
+            | Rule::DeadMetric => 1,
+        }
+    }
+
+    /// `name@vN`, the rule field used in baseline keys.
+    pub fn versioned_name(self) -> String {
+        format!("{}@v{}", self.name(), self.version())
     }
 }
 
@@ -118,14 +165,19 @@ pub struct Finding {
     /// Human-readable description.
     pub message: String,
     /// Line-number-independent identity used by the baseline ratchet:
-    /// `rule|file|token|normalized-code`. Line numbers drift on every
-    /// edit; the normalized code line does not.
+    /// `rule@vN|file|token|context`. For local rules the context is the
+    /// normalized code line; for graph rules it is the enclosing fn's
+    /// scope (`Type::name`), which survives any edit that keeps the fn.
     pub key: String,
+    /// Call chain from the root to the offending fn (graph rules only;
+    /// empty for local rules). Entries are fn FQNs.
+    pub blame: Vec<String>,
 }
 
 impl Finding {
-    /// Builds a finding, deriving the baseline key from the normalized
-    /// source line so the key survives unrelated edits above it.
+    /// Builds a local (line-token) finding, deriving the baseline key
+    /// from the normalized source line so the key survives unrelated
+    /// edits above it.
     pub fn new(
         rule: Rule,
         file: &str,
@@ -141,7 +193,30 @@ impl Finding {
             line,
             token: token.to_string(),
             message,
-            key: format!("{}|{}|{}|{}", rule.name(), file, token, norm),
+            key: format!("{}|{}|{}|{}", rule.versioned_name(), file, token, norm),
+            blame: Vec::new(),
+        }
+    }
+
+    /// Builds a call-graph finding keyed on the enclosing fn's scope
+    /// (`file#Type::name` split into its parts) rather than a code line.
+    pub fn graph(
+        rule: Rule,
+        file: &str,
+        line: usize,
+        token: &str,
+        fn_scope: &str,
+        message: String,
+        blame: Vec<String>,
+    ) -> Self {
+        Self {
+            rule,
+            file: file.to_string(),
+            line,
+            token: token.to_string(),
+            message,
+            key: format!("{}|{}|{}|{}", rule.versioned_name(), file, token, fn_scope),
+            blame,
         }
     }
 }

@@ -2,43 +2,51 @@
 //! `chameleon-lint` CLI.
 //!
 //! ```text
-//! chameleon-lint [--root PATH] [--json] [--baseline PATH]
-//!                [--allowlist PATH] [--write-baseline]
+//! chameleon-lint [--root PATH] [--json] [--sarif PATH] [--baseline PATH]
+//!                [--allowlist PATH] [--write-baseline] [--check-all]
 //! ```
 //!
 //! Exit codes: `0` clean (all findings baselined), `1` new findings or
-//! stale baseline entries, `2` usage or I/O error.
+//! stale baseline entries, `2` usage or I/O error. `--check-all` also
+//! runs `cargo fmt --check` and `cargo clippy` first and folds their
+//! exit status in.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chameleon_lint::{
-    apply_baseline, load_allowlist, load_baseline, scan_workspace, workspace_root_from,
+    apply_baseline, load_allowlist, load_baseline, scan_workspace, to_sarif, workspace_root_from,
     write_baseline, Finding,
 };
 
 struct Args {
     root: Option<PathBuf>,
     json: bool,
+    sarif: Option<PathBuf>,
     baseline: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     write: bool,
+    check_all: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         json: false,
+        sarif: None,
         baseline: None,
         allowlist: None,
         write: false,
+        check_all: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
             "--write-baseline" => args.write = true,
+            "--check-all" => args.check_all = true,
             "--root" => args.root = Some(PathBuf::from(next_value(&mut it, "--root")?)),
+            "--sarif" => args.sarif = Some(PathBuf::from(next_value(&mut it, "--sarif")?)),
             "--baseline" => args.baseline = Some(PathBuf::from(next_value(&mut it, "--baseline")?)),
             "--allowlist" => {
                 args.allowlist = Some(PathBuf::from(next_value(&mut it, "--allowlist")?))
@@ -46,10 +54,16 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "chameleon-lint: workspace invariant linter\n\n\
-                     USAGE: chameleon-lint [--root PATH] [--json] [--baseline PATH]\n\
-                    \x20                     [--allowlist PATH] [--write-baseline]\n\n\
-                     Rules: hot-path-alloc, determinism, panic-policy, unsafe-forbid\n\
-                     (see DESIGN.md section 13)."
+                     USAGE: chameleon-lint [--root PATH] [--json] [--sarif PATH]\n\
+                    \x20                     [--baseline PATH] [--allowlist PATH]\n\
+                    \x20                     [--write-baseline] [--check-all]\n\n\
+                     Local rules:  hot-path-alloc, determinism, panic-policy,\n\
+                    \x20              unsafe-forbid\n\
+                     Graph rules:  hot-path-transitive, determinism-taint,\n\
+                    \x20              hot-path-recursion, lossy-cast, dead-metric\n\n\
+                     --sarif PATH   also write a SARIF 2.1.0 report\n\
+                     --check-all    run cargo fmt --check and cargo clippy first\n\
+                     (see DESIGN.md sections 13 and 18)."
                 );
                 std::process::exit(0);
             }
@@ -93,6 +107,36 @@ fn main() -> ExitCode {
         .clone()
         .unwrap_or_else(|| root.join("crates/lint/allowlist.txt"));
 
+    // --check-all front-runs the cargo-native checks so `cargo lint
+    // --check-all` is the one entry point CI and humans share.
+    let mut cargo_checks_failed = false;
+    if args.check_all {
+        for (label, cargo_args) in [
+            ("cargo fmt --check", &["fmt", "--check"][..]),
+            (
+                "cargo clippy",
+                &["clippy", "--workspace", "--", "-D", "warnings"][..],
+            ),
+        ] {
+            eprintln!("chameleon-lint: running {label}");
+            match std::process::Command::new("cargo")
+                .args(cargo_args)
+                .current_dir(&root)
+                .status()
+            {
+                Ok(s) if s.success() => {}
+                Ok(_) => {
+                    eprintln!("chameleon-lint: {label} failed");
+                    cargo_checks_failed = true;
+                }
+                Err(e) => {
+                    eprintln!("chameleon-lint: could not run {label}: {e}");
+                    cargo_checks_failed = true;
+                }
+            }
+        }
+    }
+
     let run = || -> std::io::Result<ExitCode> {
         let allowlist = load_allowlist(&allowlist_path)?;
         let report = scan_workspace(&root, &allowlist)?;
@@ -110,17 +154,28 @@ fn main() -> ExitCode {
         let baseline = load_baseline(&baseline_path)?;
         let (new, baselined, stale) = apply_baseline(&report.findings, &baseline);
 
+        if let Some(sarif_path) = &args.sarif {
+            let new_keys: Vec<&str> = new.iter().map(|f| f.key.as_str()).collect();
+            std::fs::write(sarif_path, to_sarif(&report.findings, &new_keys))?;
+            eprintln!(
+                "chameleon-lint: wrote SARIF report to {}",
+                sarif_path.display()
+            );
+        }
+
         if args.json {
             print_json(&report.findings, &new, &stale, report.files_scanned);
         } else {
             print_human(&new, &baselined, &stale, report.files_scanned);
         }
 
-        Ok(if new.is_empty() && stale.is_empty() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        })
+        Ok(
+            if new.is_empty() && stale.is_empty() && !cargo_checks_failed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            },
+        )
     };
 
     match run() {

@@ -121,7 +121,14 @@ pub fn sanitize(text: &str) -> Vec<Line> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // escaped char, whatever it is
+                    // A `\<newline>` line continuation must leave the
+                    // newline for the top-of-loop handler, or physical
+                    // line numbers drift for everything below it.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        i += 1;
+                    } else {
+                        i += 2; // escaped char, whatever it is
+                    }
                 } else if c == '"' {
                     line.code.push('"');
                     state = State::Code;
@@ -243,6 +250,35 @@ mod tests {
         assert!(!code[0].contains("unwrap"));
         assert!(!code[0].contains("panic!"));
         assert!(code[0].contains("y.bar()"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_do_not_close_on_shorter_guards() {
+        // `"#` inside an `r##"…"##` literal must not end it — only a
+        // guard of the full hash count closes the string.
+        let src = "let s = r##\"quote\"# still .unwrap() inside\"##; z.ok();\n";
+        let code = code_of(src);
+        assert!(!code[0].contains("unwrap"), "{code:?}");
+        assert!(code[0].contains("z.ok()"), "{code:?}");
+
+        let src = "let b = br###\"vec![ \"## panic!\"###; tail();\n";
+        let code = code_of(src);
+        assert!(!code[0].contains("vec!["), "{code:?}");
+        assert!(!code[0].contains("panic!"), "{code:?}");
+        assert!(code[0].contains("tail()"), "{code:?}");
+    }
+
+    #[test]
+    fn string_continuations_keep_line_accounting() {
+        // A `\`-newline continuation keeps the string open across the
+        // physical line break; the banned token on the next line is
+        // still literal text, and the line count must not drift.
+        let src = "let s = \"first \\\n  .unwrap() second\"; after();\nnext();\n";
+        let lines = sanitize(src);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(!lines[1].code.contains("unwrap"), "{lines:?}");
+        assert!(lines[1].code.contains("after()"), "{lines:?}");
+        assert!(lines[2].code.contains("next()"), "{lines:?}");
     }
 
     #[test]

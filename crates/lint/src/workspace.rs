@@ -11,8 +11,16 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::AllowEntry;
+use crate::flow::analyze_graph;
+use crate::graph::ParsedFile;
+use crate::items::parse_items;
+use crate::metrics::dead_metric_pass;
 use crate::scan::{has_unsafe_forbid, scan_file};
+use crate::tok::tokenize;
 use crate::{DetScope, FileContext, Finding, Rule, TargetKind};
+
+/// Golden fixture the dead-metric rule cross-references.
+const GOLDEN_REPORT: &str = "results/fixtures/system_report.golden.json";
 
 /// Crates simulating hardware/OS state: any nondeterminism here breaks
 /// bit-identical replay. The facade (root `src/`) drives the same spine
@@ -42,8 +50,17 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// Number of determinism findings suppressed by the allowlist.
+    /// Number of findings suppressed by the allowlist (local and
+    /// fn-scoped graph sanctions).
     pub allowlisted: usize,
+    /// Call-graph size: functions.
+    pub graph_nodes: usize,
+    /// Call-graph size: resolved call edges.
+    pub graph_edges: usize,
+    /// `// lint: hot-path` roots feeding the transitive passes.
+    pub hot_roots: usize,
+    /// Crate names contributing at least one graph node.
+    pub crates_covered: Vec<String>,
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -153,6 +170,11 @@ pub fn scan_workspace(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Repor
     }
     files.sort();
 
+    // Library and binary files additionally feed the call graph; tests
+    // and benches stay out so name-fallback resolution can never route a
+    // production call through a test helper.
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -164,6 +186,24 @@ pub fn scan_workspace(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Repor
         };
         let text = fs::read_to_string(path)?;
         report.files_scanned += 1;
+
+        if matches!(ctx.target, TargetKind::Lib | TargetKind::Bin) {
+            let crate_name = rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("")
+                .to_string();
+            let toks = tokenize(&text);
+            let items = parse_items(&toks);
+            parsed.push(ParsedFile {
+                rel_path: rel.clone(),
+                crate_name,
+                det: ctx.determinism,
+                target: ctx.target,
+                toks,
+                items,
+            });
+        }
 
         let mut file_findings = Vec::new();
         scan_file(&ctx, &text, &mut file_findings);
@@ -195,6 +235,25 @@ pub fn scan_workspace(root: &Path, allowlist: &[AllowEntry]) -> io::Result<Repor
             }
         }
     }
+
+    // Graph passes: transitive purity, taint, recursion, lossy casts.
+    let outcome = analyze_graph(&parsed, allowlist);
+    report.graph_nodes = outcome.nodes;
+    report.graph_edges = outcome.edges;
+    report.hot_roots = outcome.hot_roots;
+    report.crates_covered = outcome.crates_covered;
+    report.allowlisted += outcome.allowlisted;
+    report.findings.extend(outcome.findings);
+
+    // Dead-metric cross-reference against the golden system report.
+    dead_metric_pass(
+        root,
+        GOLDEN_REPORT,
+        &parsed,
+        allowlist,
+        &mut report.findings,
+        &mut report.allowlisted,
+    );
 
     report
         .findings

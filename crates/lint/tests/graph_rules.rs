@@ -1,0 +1,202 @@
+//! Integration tests for the call-graph rule families, run end-to-end
+//! through [`scan_workspace`] over the `fixtures/graph_workspace` mini
+//! workspace: a facade hot root whose violations live two crates away.
+//!
+//! Also holds the cross-version guards: the differential test pinning
+//! v2 to a superset of the frozen v1 findings, the versioned-baseline
+//! key rejection, and the whole-workspace runtime budget.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use chameleon_lint::{
+    classify, load_baseline, scan_file, scan_workspace, AllowEntry, Finding, Rule,
+};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/graph_workspace")
+}
+
+/// Sanctions the fixture sweep crate's wall clock for the v1 local rule
+/// (mirroring the real workspace's per-use entries) so the graph rules
+/// are the only findings left.
+fn v1_allowlist() -> Vec<AllowEntry> {
+    vec![AllowEntry {
+        rule: "determinism".to_string(),
+        path: "crates/sweep/src/lib.rs".to_string(),
+        token: "*".to_string(),
+    }]
+}
+
+fn by_rule(findings: &[Finding], rule: Rule) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn graph_covers_every_fixture_crate() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    assert!(report.graph_nodes >= 8, "graph lost fns: {report:?}");
+    assert!(report.graph_edges >= 5, "graph lost edges: {report:?}");
+    assert_eq!(report.hot_roots, 1);
+    for c in ["", "core", "sweep"] {
+        assert!(
+            report.crates_covered.iter().any(|n| n == c),
+            "crate {c:?} missing from graph: {:?}",
+            report.crates_covered
+        );
+    }
+}
+
+#[test]
+fn transitive_alloc_two_crates_from_the_hot_root_is_found() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let hits = by_rule(&report.findings, Rule::HotPathTransitive);
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    let f = hits[0];
+    assert_eq!(f.file, "crates/core/src/lib.rs");
+    assert_eq!(f.token, "vec![");
+    // The blame chain walks facade -> facade -> core -> core.
+    assert_eq!(
+        f.blame,
+        vec![
+            "chameleon::System::access",
+            "chameleon::Engine::step",
+            "chameleon_core::helper",
+            "chameleon_core::deeper",
+        ]
+    );
+    // `justified` is on the same hot chain but its vec! carries an
+    // INVARIANT comment — it must not appear.
+    assert!(hits.iter().all(|f| !f.key.contains("justified")));
+}
+
+#[test]
+fn recursion_reachable_from_the_hot_root_is_found() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let hits = by_rule(&report.findings, Rule::HotPathRecursion);
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    assert_eq!(hits[0].token, "recursion");
+    assert!(hits[0].key.contains("walk"), "{:?}", hits[0]);
+}
+
+#[test]
+fn lossy_address_cast_is_found() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let hits = by_rule(&report.findings, Rule::LossyCast);
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    assert_eq!(hits[0].file, "crates/core/src/lib.rs");
+}
+
+#[test]
+fn wall_clock_taint_crosses_into_the_strict_crate() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let hits = by_rule(&report.findings, Rule::DeterminismTaint);
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    let f = hits[0];
+    // The finding lands on the strict-crate caller, not the sweep leaf:
+    // exactly what v1's per-file scan could never tie together.
+    assert_eq!(f.file, "crates/core/src/lib.rs");
+    assert_eq!(f.token, "std::time");
+    assert!(f.message.contains("timestamp"), "{f:?}");
+}
+
+#[test]
+fn fn_scoped_edge_sanction_silences_the_taint_finding() {
+    let mut allow = v1_allowlist();
+    allow.push(AllowEntry {
+        rule: "determinism-taint".to_string(),
+        path: "crates/core/src/lib.rs#timestamp".to_string(),
+        token: "std::time".to_string(),
+    });
+    let base = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let report = scan_workspace(&fixture_root(), &allow).expect("scan succeeds");
+    assert!(by_rule(&report.findings, Rule::DeterminismTaint).is_empty());
+    assert!(report.allowlisted > base.allowlisted);
+}
+
+#[test]
+fn dead_metric_fires_in_both_directions() {
+    let report = scan_workspace(&fixture_root(), &v1_allowlist()).expect("scan succeeds");
+    let hits = by_rule(&report.findings, Rule::DeadMetric);
+    let tokens: Vec<&str> = hits.iter().map(|f| f.token.as_str()).collect();
+    // Published but absent from the golden.
+    assert!(tokens.contains(&"core.dead"), "{hits:#?}");
+    // In the golden but never published.
+    assert!(tokens.contains(&"core.orphan"), "{hits:#?}");
+    // Matched on both sides: quiet.
+    assert!(!tokens.contains(&"core.hits"), "{hits:#?}");
+    assert_eq!(hits.len(), 2);
+}
+
+/// Differential guard: v2 must report a superset of the frozen v1
+/// findings over the per-rule fixture files. The frozen triples were
+/// captured from the pre-graph linter (`fixtures/v1_expected.txt`).
+#[test]
+fn v2_is_a_superset_of_frozen_v1_findings() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let frozen =
+        std::fs::read_to_string(manifest.join("fixtures/v1_expected.txt")).expect("frozen list");
+    for line in frozen.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('|');
+        let (Some(rel), Some(rule), Some(token)) = (parts.next(), parts.next(), parts.next())
+        else {
+            panic!("malformed frozen line: {line}");
+        };
+        let text =
+            std::fs::read_to_string(manifest.join("fixtures").join(rel)).expect("fixture exists");
+        let ctx = classify("crates/core/src/fixture.rs").expect("lib context");
+        let mut findings = Vec::new();
+        scan_file(&ctx, &text, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule.name() == rule && f.token == token),
+            "v2 lost the v1 finding {rule}|{token} on {rel}:\n{findings:#?}"
+        );
+    }
+}
+
+/// Baseline keys without a rule version must be rejected loudly.
+#[test]
+fn unversioned_baseline_keys_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("chameleon-lint-basekeys-{}", std::process::id()));
+    // INVARIANT: test scratch dir under temp_dir; failure fails the test.
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("baseline.txt");
+    std::fs::write(
+        &path,
+        "# comment\npanic-policy|src/lib.rs|.unwrap()|x.unwrap()\n",
+    )
+    .expect("write baseline");
+    let err = load_baseline(&path).expect_err("unversioned key must fail");
+    assert!(err.to_string().contains("unversioned key"), "{err}");
+
+    std::fs::write(&path, "panic-policy@v2|src/lib.rs|.unwrap()|x.unwrap()\n")
+        .expect("write baseline");
+    let keys = load_baseline(&path).expect("versioned keys load");
+    assert_eq!(keys.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The whole-workspace scan (graph passes included) must stay inside
+/// the CI budget with headroom: 2s here against the 5s CI gate.
+#[test]
+fn full_workspace_scan_stays_inside_the_budget() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root");
+    let start = Instant::now();
+    let report = scan_workspace(root, &[]).expect("scan succeeds");
+    let elapsed = start.elapsed();
+    assert!(report.files_scanned > 100);
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "workspace scan took {elapsed:?}, budget is 2s locally / 5s in CI"
+    );
+}

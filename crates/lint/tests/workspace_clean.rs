@@ -15,6 +15,26 @@ fn workspace_has_no_new_or_stale_findings() {
     let allowlist = load_allowlist(&manifest.join("allowlist.txt")).expect("allowlist parses");
     let report = scan_workspace(root, &allowlist).expect("scan succeeds");
     assert!(report.files_scanned > 100, "walker lost most of the tree");
+
+    // The call graph must cover every workspace crate (plus the root
+    // facade, named "") and have found the hot roots, or the transitive
+    // passes are silently scanning nothing.
+    let mut member_crates: Vec<String> = std::fs::read_dir(root.join("crates"))
+        .expect("crates dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().join("Cargo.toml").is_file())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    member_crates.push(String::new());
+    for c in &member_crates {
+        assert!(
+            report.crates_covered.iter().any(|n| n == c),
+            "crate {c:?} contributes no call-graph nodes: {:?}",
+            report.crates_covered
+        );
+    }
+    assert!(report.graph_nodes > 500, "graph lost fns: {report:?}");
+    assert!(report.hot_roots > 0, "no hot-path roots found");
     let baseline = load_baseline(&manifest.join("baseline.txt")).expect("baseline loads");
     let (new, _baselined, stale) = apply_baseline(&report.findings, &baseline);
     assert!(

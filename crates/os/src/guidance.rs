@@ -182,6 +182,8 @@ impl GuidanceEngine {
             .iter()
             .filter(|&(_, &idle)| idle >= self.cfg.cold_epochs)
             .map(|(&p, &idle)| (p, idle))
+            // INVARIANT: end_epoch runs once per guidance epoch, not per
+            // access — candidate staging here is amortized off the hot path.
             .collect();
         cold.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         cold.truncate(self.cfg.max_demotions_per_epoch);
@@ -192,6 +194,7 @@ impl GuidanceEngine {
             .iter()
             .filter(|&(_, &(c, _))| c >= self.cfg.hot_threshold)
             .map(|(&p, &(c, pid))| (p, c, pid))
+            // INVARIANT: once-per-epoch staging, amortized off the hot path.
             .collect();
         hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         hot.truncate(self.cfg.max_promotions_per_epoch);
@@ -206,6 +209,7 @@ impl GuidanceEngine {
                 page,
                 target: NodeId::Stacked,
             }))
+            // INVARIANT: once-per-epoch hint batch, amortized off the hot path.
             .collect();
         let outcome = kernel.apply_hints(&hints, now, hook);
 
@@ -227,6 +231,7 @@ impl GuidanceEngine {
             .iter()
             .filter(|(_, _, t)| *t == NodeId::Stacked)
             .map(|(from, _, _)| (*from, ()))
+            // INVARIANT: once-per-epoch attribution, amortized off the hot path.
             .collect();
         for &(page, _, pid) in &hot {
             if promoted_pages.contains_key(&page) {

@@ -617,7 +617,10 @@ impl OsKernel {
         if self.ledger.is_none() {
             return self.alloc_order(0);
         }
-        // Candidate frames from the preferred node (no allocation yet).
+        // Candidate frames from the preferred node.
+        // INVARIANT: scored allocation runs on the page-fault path only —
+        // faults are rare after warm-up, so this staging Vec (≤ 6 entries)
+        // is amortized off the per-access hot path.
         let mut cands = Vec::new();
         let prefer_stacked = matches!(
             self.cfg.preference,
@@ -651,6 +654,7 @@ impl OsKernel {
         let mut scored: Vec<(i64, u64)> = cands
             .into_iter()
             .map(|f| (ledger.score_frame(f), f))
+            // INVARIANT: fault-path only, ≤ 6 candidates — see above.
             .collect();
         scored.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         for (_, f) in scored {

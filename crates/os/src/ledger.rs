@@ -65,18 +65,26 @@ impl GroupLedger {
     }
 
     /// Records an allocation of `[addr, addr + len)`.
+    ///
+    /// Runs on the page-fault path (reachable from the hot access loop),
+    /// so the group walk stays allocation-free.
     pub fn on_alloc(&mut self, addr: u64, len: u64) {
-        let groups: Vec<usize> = self.segment_groups(addr, len).collect();
-        for g in groups {
+        let first = addr / self.cfg.segment_bytes;
+        let last = (addr + len.max(1) - 1) / self.cfg.segment_bytes;
+        for s in first..=last {
+            let g = self.group_of(s * self.cfg.segment_bytes);
             self.free_per_group[g] = self.free_per_group[g].saturating_sub(1);
         }
     }
 
-    /// Records a free of `[addr, addr + len)`.
+    /// Records a free of `[addr, addr + len)`. Allocation-free like
+    /// [`Self::on_alloc`] (the migration path frees frames too).
     pub fn on_free(&mut self, addr: u64, len: u64) {
         let slots = self.cfg.slots_per_group;
-        let groups: Vec<usize> = self.segment_groups(addr, len).collect();
-        for g in groups {
+        let first = addr / self.cfg.segment_bytes;
+        let last = (addr + len.max(1) - 1) / self.cfg.segment_bytes;
+        for s in first..=last {
+            let g = self.group_of(s * self.cfg.segment_bytes);
             self.free_per_group[g] = (self.free_per_group[g] + 1).min(slots);
         }
     }

@@ -137,6 +137,7 @@ impl AutoNuma {
                 .iter()
                 .filter(|&(_, &c)| c >= self.cfg.min_hotness)
                 .map(|(&p, &c)| (p, c))
+                // INVARIANT: once-per-epoch staging, amortized off the hot path.
                 .collect();
             hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             for (page, _) in hot.into_iter().take(self.cfg.max_migrations_per_epoch) {

@@ -129,6 +129,9 @@ impl PageTable {
                 PageState::Resident { frame } => Some(*frame),
                 _ => None,
             })
+            // INVARIANT: clear() runs at process teardown/reset only —
+            // never on the access path (graph edges from cache code are
+            // conservative `.clear()` fan-out).
             .collect();
         self.entries.clear();
         self.resident = 0;

@@ -207,6 +207,8 @@ impl Snapshot {
                 let d = v.saturating_sub(before);
                 (d != 0).then(|| (name.clone(), d))
             })
+            // INVARIANT: snapshot deltas are taken at epoch boundaries,
+            // amortized off the per-access hot path.
             .collect()
     }
 
